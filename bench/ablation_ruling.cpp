@@ -1,0 +1,98 @@
+// Ablation — the paper's central design choice: replacing EN17's random
+// sampling with a deterministic ruling set, and the knob c (= 1/rho) inside
+// Theorem 2.2.
+//
+// Part A: vary c for a fixed phase-1-style ruling-set call and measure the
+// three-way tradeoff the paper exploits:
+//     rounds ~ q*c*n^{1/c}   (larger c => more sub-steps, smaller base)
+//     domination <= q*c      (larger c => farther roots => larger radii,
+//                             hence the additive-term inflation vs EN17)
+//
+// Part B: determinism as a feature.  EN17's sampling is Monte Carlo: across
+// seeds its spanner size and round count fluctuate, and unlucky seeds leave
+// popular centers uncovered (more interconnection edges).  The
+// deterministic construction is one fixed point.  We measure that spread.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "baselines/en17.hpp"
+#include "bench_common.hpp"
+#include "core/elkin_matar.hpp"
+#include "core/popular.hpp"
+#include "core/ruling_set.hpp"
+#include "graph/bfs.hpp"
+
+using namespace nas;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1200));
+  const std::string csv_path = flags.str("csv", "");
+  flags.reject_unknown();
+
+  bench::banner("ABL", "ablation: ruling set vs sampling; the c knob");
+  util::CsvWriter csv(csv_path, {"part", "key", "value1", "value2", "value3"});
+
+  const auto g = graph::make_workload("er", n, 53);
+  std::cout << "workload: " << g.summary() << "\n\n";
+
+  // ---- Part A: the c knob --------------------------------------------------
+  std::cout << "Part A — Theorem 2.2 tradeoff as c varies (q = 8, W = all "
+               "popular-ish vertices)\n";
+  std::vector<graph::Vertex> w;
+  for (graph::Vertex v = 0; v < g.num_vertices(); v += 3) w.push_back(v);
+  const std::uint64_t q = 8;
+  util::Table ta({"c", "b=ceil(n^{1/c})", "rounds charged", "|A|",
+                  "max domination (<= q*c)", "implied radius growth/phase"});
+  for (const int c : {2, 3, 4, 6}) {
+    const auto b = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(std::ceil(
+               std::pow(static_cast<double>(g.num_vertices()), 1.0 / c))));
+    const auto res = core::compute_ruling_set(g, w, q, c, b);
+    std::uint32_t max_dom = 0;
+    const auto bfs = graph::multi_source_bfs(g, res.rulers);
+    for (graph::Vertex v : w) max_dom = std::max(max_dom, bfs.dist[v]);
+    ta.add_row({std::to_string(c), std::to_string(b),
+                std::to_string(res.rounds_charged),
+                std::to_string(res.rulers.size()), std::to_string(max_dom),
+                std::to_string(q * c)});
+    csv.row({"c_knob", std::to_string(c), std::to_string(res.rounds_charged),
+             std::to_string(res.rulers.size()), std::to_string(max_dom)});
+  }
+  ta.print(std::cout);
+  std::cout << "  -> rounds shrink with c only while n^{1/c} dominates; the\n"
+               "     domination radius (and hence beta) grows linearly in c.\n"
+               "     The paper picks c = 1/rho: rounds O(q n^rho / rho).\n\n";
+
+  // ---- Part B: determinism vs sampling spread ------------------------------
+  std::cout << "Part B — EN17 seed spread vs the deterministic fixed point\n";
+  const auto params = core::Params::practical(g.num_vertices(), 0.25, 3, 0.4);
+  const auto det = core::build_spanner(g, params, {.validate = false});
+
+  std::vector<std::size_t> sizes;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto en = baselines::build_en17_spanner(g, params, seed);
+    sizes.push_back(en.spanner.num_edges());
+    csv.row({"en17_seed", std::to_string(seed),
+             std::to_string(en.spanner.num_edges()), "", ""});
+  }
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  double mean = 0;
+  for (auto s : sizes) mean += static_cast<double>(s);
+  mean /= static_cast<double>(sizes.size());
+
+  util::Table tb({"construction", "|H| min", "|H| mean", "|H| max",
+                  "spread max/min"});
+  tb.add_row({"EN17 (15 seeds)", std::to_string(*mn), util::Table::num(mean),
+              std::to_string(*mx),
+              util::Table::num(static_cast<double>(*mx) /
+                               static_cast<double>(*mn))});
+  tb.add_row({"New (deterministic)", std::to_string(det.spanner.num_edges()),
+              std::to_string(det.spanner.num_edges()),
+              std::to_string(det.spanner.num_edges()), "1.00"});
+  tb.print(std::cout);
+  std::cout << "  -> the deterministic construction has zero variance by\n"
+               "     construction — the property the paper trades rounds for.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace nas::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "=== " << id << " — " << what << " ===\n"
+            << "    (paper: Elkin & Matar, Near-Additive Spanners In Low\n"
+            << "     Polynomial Deterministic CONGEST Time, PODC 2019)\n\n";
+}
+
+/// log-log slope between two (x, y) samples; the scaling benches report it
+/// against the theoretical exponent.
+inline double loglog_slope(double x0, double y0, double x1, double y1) {
+  if (x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1) return 0.0;
+  return (std::log(y1) - std::log(y0)) / (std::log(x1) - std::log(x0));
+}
+
+}  // namespace nas::bench

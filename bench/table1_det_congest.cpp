@@ -1,0 +1,97 @@
+// Experiment T1 — reproduces the paper's Table 1: the comparison between the
+// only previously known deterministic CONGEST algorithm for near-additive
+// spanners ([Elk05], superlinear time) and the paper's new algorithm
+// (low polynomial time).
+//
+// Part A regenerates the *bound* comparison that Table 1 states:
+//     [Elk05]: stretch (1+ε, β_E), β_E=(κ/ε)^{O(log κ)}·(ρ⁻¹)^{ρ⁻¹},
+//              time O(n^{1+1/(2κ)})
+//     New:     stretch (1+ε, β),   β = eq. (18),
+//              time O(β·n^ρ·ρ⁻¹)
+// and shows where the new algorithm's round bound overtakes the superlinear
+// one as n grows (the whole point of the paper: n^ρ ≪ n^{1+1/(2κ)}).
+//
+// Part B adds what Table 1 cannot show on paper: *measured* rows for the new
+// algorithm on concrete workloads — simulated CONGEST rounds, spanner size,
+// and observed stretch, against the stated bounds.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/elkin_matar.hpp"
+#include "verify/stretch.hpp"
+
+using namespace nas;
+
+namespace {
+
+// Table 1 row for [Elk05]: β_E = (κ/ε)^{log κ} · (ρ⁻¹)^{ρ⁻¹} with the O(·)
+// constant set to 1 (we only need the shape of the comparison).
+double beta_elk05(double eps, int kappa, double rho) {
+  return std::pow(kappa / eps, std::log2(static_cast<double>(kappa))) *
+         std::pow(1.0 / rho, 1.0 / rho);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string csv_path = flags.str("csv", "");
+  const double eps = flags.real("eps", 1.0);
+  const int kappa = static_cast<int>(flags.integer("kappa", 4));
+  const double rho = flags.real("rho", 0.45);
+  flags.reject_unknown();
+
+  bench::banner("T1", "Table 1: deterministic CONGEST algorithms compared");
+
+  std::cout << "Part A — bound comparison (eps=" << eps << ", kappa=" << kappa
+            << ", rho=" << rho << ")\n";
+  const double bE = beta_elk05(eps, kappa, rho);
+  const double bNew = core::Params::beta_formula_eq18(eps, kappa, rho);
+  std::cout << "  beta_E (Elk05)  = " << util::Table::sci(bE) << "\n";
+  std::cout << "  beta   (New)    = " << util::Table::sci(bNew) << "\n\n";
+
+  util::Table ta({"n", "Elk05 rounds ~ n^{1+1/(2k)}", "New rounds ~ beta*n^rho/rho",
+                  "ratio Elk05/New", "faster"});
+  util::CsvWriter csv(csv_path, {"n", "elk05_rounds", "new_rounds", "ratio"});
+  for (double n = 1e3; n <= 1e12; n *= 10) {
+    const double elk05 = std::pow(n, 1.0 + 1.0 / (2.0 * kappa));
+    const double ours = bNew * std::pow(n, rho) / rho;
+    ta.add_row({util::Table::sci(n, 0), util::Table::sci(elk05),
+                util::Table::sci(ours), util::Table::num(elk05 / ours),
+                elk05 > ours ? "New" : "Elk05"});
+    csv.row({util::Table::sci(n, 6), util::Table::sci(elk05, 6),
+             util::Table::sci(ours, 6), util::Table::num(elk05 / ours, 6)});
+  }
+  ta.print(std::cout);
+  std::cout << "  -> the deterministic low-polynomial algorithm overtakes the\n"
+               "     superlinear [Elk05] bound once n is large enough; the\n"
+               "     crossover moves with beta exactly as Table 1 implies.\n\n";
+
+  std::cout << "Part B — measured rows for the New algorithm (practical-mode\n"
+               "schedule so the run is feasible at laptop n; same pipeline)\n";
+  util::Table tb({"workload", "n", "m", "|H|", "size bound", "rounds",
+                  "rounds bound", "max mult", "max add", "bound ok"});
+  for (const std::string family : {"er", "grid", "caveman"}) {
+    const auto g = graph::make_workload(family, 1024, 7);
+    const auto params =
+        core::Params::practical(g.num_vertices(), 0.25, kappa, rho);
+    const auto result = core::build_spanner(g, params, {.validate = false});
+    const auto rep = verify::verify_stretch_sampled(
+        g, result.spanner, params.stretch_multiplicative(),
+        params.stretch_additive(), 48, 3);
+    tb.add_row({family, std::to_string(g.num_vertices()),
+                std::to_string(g.num_edges()),
+                std::to_string(result.spanner.num_edges()),
+                util::Table::sci(params.beta_paper() *
+                                 std::pow(g.num_vertices(), 1.0 + 1.0 / kappa)),
+                std::to_string(result.ledger.rounds()),
+                util::Table::sci(params.beta_paper() *
+                                 std::pow(g.num_vertices(), rho) / rho),
+                util::Table::num(rep.max_multiplicative),
+                std::to_string(rep.max_additive),
+                rep.bound_ok ? "yes" : "NO"});
+  }
+  tb.print(std::cout);
+  return 0;
+}

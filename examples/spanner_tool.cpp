@@ -1,0 +1,83 @@
+// Command-line spanner tool: read an edge list, write the spanner's edge
+// list plus a stats summary — the "downstream user" entry point.
+//
+//   ./spanner_tool --in graph.txt --out spanner.txt \
+//       [--eps 0.25] [--kappa 3] [--rho 0.4] [--mode practical|paper]
+//       [--verify 32]   # sampled stretch verification with k sources
+//
+// Input format: "n m" header line, then one "u v" pair per line ('#'
+// comments allowed).  Exit code 0 iff construction (and verification, if
+// requested) succeeded.
+#include <iostream>
+
+#include "core/elkin_matar.hpp"
+#include "graph/io.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "verify/stretch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nas;
+  try {
+    util::Flags flags(argc, argv);
+    const std::string in_path = flags.str("in", "");
+    const std::string out_path = flags.str("out", "");
+    const double eps = flags.real("eps", 0.25);
+    const int kappa = static_cast<int>(flags.integer("kappa", 3));
+    const double rho = flags.real("rho", 0.4);
+    const std::string mode = flags.str("mode", "practical");
+    const auto verify_sources =
+        static_cast<std::uint32_t>(flags.integer("verify", 0));
+    flags.reject_unknown();
+
+    if (in_path.empty()) {
+      std::cerr << "usage: spanner_tool --in graph.txt [--out spanner.txt]\n"
+                   "       [--eps E] [--kappa K] [--rho R] [--mode practical|paper]\n"
+                   "       [--verify NUM_SOURCES]\n";
+      return 2;
+    }
+
+    const auto g = graph::read_edge_list_file(in_path);
+    std::cerr << "read " << g.summary() << " from " << in_path << "\n";
+
+    const auto params =
+        mode == "paper"
+            ? core::Params::paper(g.num_vertices(), eps, kappa, rho)
+            : core::Params::practical(g.num_vertices(), eps, kappa, rho);
+    std::cerr << "schedule: " << params.describe() << "\n";
+
+    const auto result = core::build_spanner(g, params, {.validate = false});
+    if (!out_path.empty()) {
+      graph::write_edge_list_file(result.spanner, out_path);
+      std::cerr << "wrote " << result.spanner.num_edges() << " edges to "
+                << out_path << "\n";
+    }
+
+    util::Table t({"metric", "value"});
+    t.add_row({"input edges", std::to_string(g.num_edges())});
+    t.add_row({"spanner edges", std::to_string(result.spanner.num_edges())});
+    t.add_row({"kept %", util::Table::num(100.0 * result.spanner.num_edges() /
+                                          std::max<std::size_t>(g.num_edges(), 1))});
+    t.add_row({"simulated CONGEST rounds", std::to_string(result.ledger.rounds())});
+    t.add_row({"guarantee multiplicative",
+               util::Table::num(params.stretch_multiplicative())});
+    t.add_row({"guarantee additive",
+               util::Table::num(params.stretch_additive(), 0)});
+    t.print(std::cout);
+
+    if (verify_sources > 0) {
+      const auto rep = verify::verify_stretch_sampled(
+          g, result.spanner, params.stretch_multiplicative(),
+          params.stretch_additive(), verify_sources, 1);
+      std::cout << "verification (" << rep.pairs_checked
+                << " pairs): max mult " << util::Table::num(rep.max_multiplicative)
+                << ", max additive " << rep.max_additive << " -> "
+                << (rep.bound_ok ? "bound OK" : "BOUND VIOLATED") << "\n";
+      if (!rep.bound_ok) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,38 @@
+#include "apps/distance_oracle.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/bfs.hpp"
+
+namespace nas::apps {
+
+using graph::Vertex;
+
+SpannerDistanceOracle::SpannerDistanceOracle(const graph::Graph& g,
+                                             const core::Params& params)
+    : result_(core::build_spanner(g, params, {.validate = false})) {}
+
+SpannerDistanceOracle::SpannerDistanceOracle(core::SpannerResult result)
+    : result_(std::move(result)) {}
+
+const std::vector<std::uint32_t>& SpannerDistanceOracle::distances_from(
+    Vertex s) const {
+  const auto it = cache_.find(s);
+  if (it != cache_.end()) return it->second;
+  auto res = graph::bfs(result_.spanner, s);
+  return cache_.emplace(s, std::move(res.dist)).first->second;
+}
+
+std::uint32_t SpannerDistanceOracle::query(Vertex u, Vertex v) const {
+  if (u >= result_.spanner.num_vertices() ||
+      v >= result_.spanner.num_vertices()) {
+    throw std::invalid_argument("SpannerDistanceOracle: vertex out of range");
+  }
+  if (u == v) return 0;
+  // Prefer a cached side if available.
+  if (cache_.count(v) && !cache_.count(u)) std::swap(u, v);
+  return distances_from(u)[v];
+}
+
+}  // namespace nas::apps

@@ -1,0 +1,61 @@
+// Approximate distance oracle backed by a near-additive spanner.
+//
+// The application the spanner literature ([EP01], [TZ01], [RTZ05] in the
+// paper's introduction) motivates: preprocess the graph once into a sparse
+// structure, then answer distance queries from the structure alone.  With a
+// (1+ε, β)-spanner the answers satisfy
+//
+//     d_G(u,v) ≤ query(u,v) ≤ (1+ε)·d_G(u,v) + β
+//
+// and each uncached query costs one BFS over H (O(|H|) = O(β·n^{1+1/κ}))
+// instead of O(|E|); per-source BFS results are cached, so answering all
+// queries from k distinct sources costs k BFS passes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/elkin_matar.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::apps {
+
+class SpannerDistanceOracle {
+ public:
+  /// Builds the spanner for `g` with schedule `params` and prepares the
+  /// query structure.  The input graph is NOT retained.
+  SpannerDistanceOracle(const graph::Graph& g, const core::Params& params);
+
+  /// Wraps an already-built spanner (shares the guarantee recorded in it).
+  explicit SpannerDistanceOracle(core::SpannerResult result);
+
+  /// Approximate distance; graph::kInfDist if disconnected.
+  [[nodiscard]] std::uint32_t query(graph::Vertex u, graph::Vertex v) const;
+
+  /// The guarantee: query(u,v) <= multiplicative()*d_G(u,v) + additive().
+  [[nodiscard]] double multiplicative() const {
+    return result_.params.stretch_multiplicative();
+  }
+  [[nodiscard]] double additive() const {
+    return result_.params.stretch_additive();
+  }
+
+  [[nodiscard]] std::size_t spanner_edges() const {
+    return result_.spanner.num_edges();
+  }
+  [[nodiscard]] const core::SpannerResult& construction() const {
+    return result_;
+  }
+
+  /// Number of BFS passes performed so far (cache diagnostics).
+  [[nodiscard]] std::size_t bfs_passes() const { return cache_.size(); }
+
+ private:
+  const std::vector<std::uint32_t>& distances_from(graph::Vertex s) const;
+
+  core::SpannerResult result_;
+  mutable std::unordered_map<graph::Vertex, std::vector<std::uint32_t>> cache_;
+};
+
+}  // namespace nas::apps

@@ -1,0 +1,43 @@
+#include "apps/synchronizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace nas::apps {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::Vertex;
+
+SynchronizerReport analyze_synchronizer(const Graph& g, const Graph& h) {
+  if (g.num_vertices() != h.num_vertices()) {
+    throw std::invalid_argument("analyze_synchronizer: size mismatch");
+  }
+  SynchronizerReport rep;
+  rep.messages_per_pulse = 2 * h.num_edges();
+  rep.baseline_messages_per_pulse = 2 * g.num_edges();
+
+  double stretch_sum = 0.0;
+  std::uint64_t stretch_count = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) == 0) continue;
+    const auto dist = graph::bfs(h, u);
+    for (Vertex v : g.neighbors(u)) {
+      if (v < u) continue;  // each G-edge once
+      if (dist.dist[v] == kInfDist) {
+        rep.overlay_connects = false;
+        continue;
+      }
+      rep.pulse_latency = std::max(rep.pulse_latency, dist.dist[v]);
+      stretch_sum += dist.dist[v];
+      ++stretch_count;
+    }
+  }
+  rep.mean_edge_stretch =
+      stretch_count == 0 ? 1.0 : stretch_sum / static_cast<double>(stretch_count);
+  return rep;
+}
+
+}  // namespace nas::apps

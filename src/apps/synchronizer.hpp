@@ -1,0 +1,46 @@
+// Synchronizer overhead analysis over a spanner overlay.
+//
+// Spanners were introduced for exactly this ([Awe85], [PU87] in the paper's
+// introduction): a synchronizer lets an asynchronous network run a
+// synchronous algorithm by exchanging "pulse" safety messages.  Running the
+// synchronizer over a subgraph H instead of all of E trades message
+// overhead (∝ |H| per pulse) against pulse latency: two G-neighbors must
+// hear about each other's pulses through H, so each simulated round costs
+// up to max_{(u,v)∈E} d_H(u,v) time — the *edge stretch* of H.
+//
+// `analyze_synchronizer` measures both sides of that trade for a given
+// overlay, the quantities a synchronizer designer reads off a spanner.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace nas::apps {
+
+struct SynchronizerReport {
+  /// Messages per simulated pulse: 2|H| (one safety message per overlay
+  /// edge direction).
+  std::uint64_t messages_per_pulse = 0;
+  /// Same for running directly on G: 2|E|.
+  std::uint64_t baseline_messages_per_pulse = 0;
+  /// Pulse latency: max over G-edges (u,v) of d_H(u,v); kInfDist-free iff
+  /// `overlay_connects` (H spans every G-edge's endpoints).
+  std::uint32_t pulse_latency = 0;
+  double mean_edge_stretch = 1.0;
+  bool overlay_connects = true;
+
+  [[nodiscard]] double message_saving() const {
+    return baseline_messages_per_pulse == 0
+               ? 1.0
+               : static_cast<double>(messages_per_pulse) /
+                     static_cast<double>(baseline_messages_per_pulse);
+  }
+};
+
+/// Measures the overlay-synchronizer trade for overlay `h` of graph `g`.
+/// O(n·(|H|+n)) time (one BFS over H per vertex).
+[[nodiscard]] SynchronizerReport analyze_synchronizer(const graph::Graph& g,
+                                                      const graph::Graph& h);
+
+}  // namespace nas::apps

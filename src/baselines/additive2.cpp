@@ -1,0 +1,86 @@
+#include "baselines/additive2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/bfs.hpp"
+
+namespace nas::baselines {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+BaselineResult build_additive2_spanner(const Graph& g,
+                                       std::uint32_t degree_threshold) {
+  const Vertex n = g.num_vertices();
+  BaselineResult result(n);
+  result.stretch_multiplicative = 1.0;
+  result.stretch_additive = 2.0;
+  if (degree_threshold == 0) {
+    degree_threshold = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(std::max<Vertex>(n, 1)))));
+  }
+
+  // Light edges: keep everything incident to a low-degree endpoint.
+  std::vector<std::uint8_t> heavy(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    heavy[v] = g.degree(v) >= degree_threshold ? 1 : 0;
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (!heavy[u] || !heavy[v]) result.edges.insert(u, v);
+  }
+
+  // Greedy dominating set for the heavy vertices: repeatedly take the
+  // vertex that dominates the most not-yet-dominated heavy vertices.
+  // (Classic ln-n-approximation; deterministic.)
+  std::vector<std::uint8_t> dominated(n, 1);
+  std::size_t remaining = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (heavy[v]) {
+      dominated[v] = 0;
+      ++remaining;
+    }
+  }
+  std::vector<Vertex> dominators;
+  while (remaining > 0) {
+    Vertex best = kInvalidVertex;
+    std::size_t best_gain = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      std::size_t gain = dominated[v] ? 0 : 1;
+      for (Vertex u : g.neighbors(v)) gain += dominated[u] ? 0 : 1;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    dominators.push_back(best);
+    if (!dominated[best]) {
+      dominated[best] = 1;
+      --remaining;
+    }
+    for (Vertex u : g.neighbors(best)) {
+      if (!dominated[u]) {
+        dominated[u] = 1;
+        --remaining;
+      }
+    }
+  }
+
+  // Full BFS tree from every dominator.
+  for (Vertex d : dominators) {
+    const auto tree = graph::bfs(g, d);
+    for (Vertex v = 0; v < n; ++v) {
+      if (tree.parent[v] != kInvalidVertex) {
+        result.edges.insert(v, tree.parent[v]);
+      }
+    }
+  }
+
+  result.spanner = result.edges.to_graph();
+  return result;
+}
+
+}  // namespace nas::baselines

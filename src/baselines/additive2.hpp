@@ -1,0 +1,32 @@
+// Purely-additive (1, 2)-spanner of Aingworth-Chekuri-Indyk-Motwani
+// ([ACIM99] in the paper's introduction; also [DHZ00]).
+//
+// Construction (deterministic, centralized):
+//   * every edge incident to a *light* vertex (degree < threshold, default
+//     ceil(sqrt(n))) is kept;
+//   * a greedy dominating set D for the heavy vertices is computed, and a
+//     full BFS tree rooted at every d ∈ D is added.
+// Size: O(n·|D|) = O(n^{3/2} log n)-ish; stretch: purely additive +2 —
+// if a shortest u-v path is all-light it survives verbatim; otherwise some
+// heavy vertex w on it has a dominator d at distance <= 1, and the BFS tree
+// of d gives d_H(u,v) <= d(u,d) + d(d,v) <= d_G(u,v) + 2.
+//
+// Why it is here: the paper's motivation leans on Abboud-Bodwin [AB15] —
+// arbitrarily *sparse* purely-additive spanners do not exist, so
+// near-additive (1+ε, β) is the best sparse approximation available.  This
+// baseline makes that concrete: +2 additive error costs Θ(n^{3/2}) edges,
+// while the near-additive construction reaches O(β·n^{1+1/κ}) for any κ.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::baselines {
+
+/// `degree_threshold` = 0 picks ceil(sqrt(n)).
+[[nodiscard]] BaselineResult build_additive2_spanner(
+    const graph::Graph& g, std::uint32_t degree_threshold = 0);
+
+}  // namespace nas::baselines

@@ -1,0 +1,25 @@
+// Baswana-Sen randomized (2κ−1)-multiplicative spanner.
+//
+// The classic clustering algorithm: κ−1 sampling iterations followed by a
+// final cluster-joining step; expected size O(κ·n^{1+1/κ}).  This is the
+// canonical *multiplicative* spanner the paper's introduction contrasts
+// near-additive spanners against: on long distances the 2κ−1 factor is far
+// worse than (1+ε)d+β, which is exactly what the Table 2 bench shows.
+//
+// The implementation follows the distributed formulation (clusters of radius
+// ≤ i after iteration i); the simulated round charge is O(κ) per iteration
+// plus O(κ) for the final step, the textbook CONGEST cost of the algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::baselines {
+
+[[nodiscard]] BaselineResult build_baswana_sen_spanner(const graph::Graph& g,
+                                                       int kappa,
+                                                       std::uint64_t seed);
+
+}  // namespace nas::baselines

@@ -1,0 +1,23 @@
+// Shared result type for the baseline spanner constructions.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::baselines {
+
+struct BaselineResult {
+  graph::EdgeSet edges;
+  graph::Graph spanner;
+  congest::Ledger ledger;  ///< simulated CONGEST cost (0 rounds = centralized)
+  /// Proven stretch guarantee d_H <= m*d_G + a (multiplicative baselines
+  /// have a == 0).
+  double stretch_multiplicative = 1.0;
+  double stretch_additive = 0.0;
+
+  explicit BaselineResult(graph::Vertex n) : edges(n) {}
+};
+
+}  // namespace nas::baselines

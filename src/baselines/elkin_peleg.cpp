@@ -1,0 +1,102 @@
+#include "baselines/elkin_peleg.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/interconnect.hpp"
+#include "core/popular.hpp"
+#include "core/supercluster.hpp"
+#include "graph/bfs.hpp"
+
+namespace nas::baselines {
+
+using core::ClusterState;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+namespace {
+
+/// Greedy maximal (2δ+1)-separated subset of `candidates` (processed in ID
+/// order): every unchosen candidate is within 2δ of a chosen one.
+std::vector<Vertex> greedy_separated_subset(const Graph& g,
+                                            const std::vector<Vertex>& candidates,
+                                            std::uint64_t two_delta) {
+  std::vector<Vertex> chosen;
+  std::vector<std::uint8_t> covered(g.num_vertices(), 0);
+  std::vector<Vertex> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex c : sorted) {
+    if (covered[c]) continue;
+    chosen.push_back(c);
+    // Mark everything within 2δ of c as covered.
+    const auto res = graph::multi_source_bfs_bounded(
+        g, {c}, static_cast<std::uint32_t>(two_delta));
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (res.dist[v] != kInfDist) covered[v] = 1;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+BaselineResult build_elkin_peleg_spanner(const Graph& g,
+                                         const core::Params& params) {
+  const Vertex n = g.num_vertices();
+  BaselineResult result(n);
+  ClusterState clusters(n);
+
+  const int ell = params.ell();
+  std::uint64_t radius = 0;
+  double add = 0.0, mul = 1.0;
+
+  for (int i = 0; i <= ell; ++i) {
+    const auto& sched = params.phase(i);
+    const std::uint64_t L = sched.L;
+    const std::uint64_t delta = L + 2 * radius;
+
+    std::vector<Vertex> centers = clusters.centers();
+    if (centers.empty()) break;
+
+    std::uint64_t cap = sched.deg;
+    if (i == ell) cap = std::max<std::uint64_t>(cap, centers.size());
+    // Knowledge gathering: reuse the deterministic Algorithm 1 (it is a
+    // centralized computation here; the ledger is not charged).
+    const auto alg1 = core::run_algorithm1(g, centers, delta, cap, nullptr);
+
+    std::vector<Vertex> u_centers;
+    if (i < ell) {
+      std::vector<Vertex> popular;
+      for (Vertex c : centers) {
+        if (alg1.popular[c]) popular.push_back(c);
+      }
+      const auto roots = greedy_separated_subset(g, popular, 2 * delta);
+      const auto super = core::build_superclusters(
+          g, clusters, roots, 2 * delta, radius, result.edges, nullptr);
+      for (Vertex c : centers) {
+        if (super.forest_root[c] == kInvalidVertex) u_centers.push_back(c);
+      }
+    } else {
+      u_centers = centers;
+    }
+
+    (void)core::interconnect(g, u_centers, alg1, delta, cap, result.edges,
+                             nullptr);
+    for (Vertex c : u_centers) clusters.settle_cluster(c, i);
+
+    if (i >= 1) {
+      add = 2.0 * add + 6.0 * static_cast<double>(radius);
+      mul += add / static_cast<double>(L);
+    }
+    if (i < ell) radius = radius + 2 * delta;
+  }
+  result.stretch_multiplicative = mul;
+  result.stretch_additive = add;
+  result.spanner = result.edges.to_graph();
+  return result;
+}
+
+}  // namespace nas::baselines

@@ -1,0 +1,25 @@
+// Centralized Elkin-Peleg-style (1+ε, β) spanner.
+//
+// The existential construction (STOC'01) that both EN17 and this paper
+// implement distributedly.  Centralized greedy selection replaces the
+// ruling set: the supercluster roots are a greedily chosen maximal
+// (2δ_i+1)-separated subset of the popular centers, which dominates all
+// popular centers within 2δ_i.  Radii therefore grow like
+// R_{i+1} = R_i + 2δ_i — the benchmark for how much the deterministic
+// CONGEST ruling set (depth 2δ_i·c) inflates the additive term.
+//
+// The ledger records zero rounds: this baseline is centralized (Table 2's
+// "centralized, deterministic" rows); it is used for spanner-quality
+// comparisons only.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::baselines {
+
+[[nodiscard]] BaselineResult build_elkin_peleg_spanner(const graph::Graph& g,
+                                                       const core::Params& params);
+
+}  // namespace nas::baselines

@@ -1,0 +1,87 @@
+#include "baselines/en17.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/interconnect.hpp"
+#include "core/popular.hpp"
+#include "core/supercluster.hpp"
+#include "util/rng.hpp"
+
+namespace nas::baselines {
+
+using core::ClusterState;
+using graph::Graph;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+BaselineResult build_en17_spanner(const Graph& g, const core::Params& params,
+                                  std::uint64_t seed) {
+  const Vertex n = g.num_vertices();
+  BaselineResult result(n);
+  ClusterState clusters(n);
+  util::Xoshiro256 rng(seed);
+
+  // EN17 radius/threshold schedule: same L_i and deg_i as the deterministic
+  // algorithm, but superclusters grow only to depth δ_i, so
+  // R_{i+1} = R_i + δ_i.
+  const int ell = params.ell();
+  std::uint64_t radius = 0;
+  double add = 0.0, mul = 1.0;
+
+  for (int i = 0; i <= ell; ++i) {
+    const auto& sched = params.phase(i);
+    const std::uint64_t L = sched.L;
+    const std::uint64_t delta = L + 2 * radius;
+
+    std::vector<Vertex> centers = clusters.centers();
+    if (centers.empty()) break;
+
+    // Knowledge gathering, uncapped (EN17 interconnection is exploration-
+    // based; the unpopularity bound on added paths is probabilistic).
+    const std::uint64_t cap = std::max<std::uint64_t>(sched.deg, centers.size());
+    result.ledger.begin_section("en17 phase " + std::to_string(i));
+    const auto alg1 =
+        core::run_algorithm1(g, centers, delta, cap, &result.ledger);
+
+    std::vector<Vertex> u_centers;
+    if (i < ell) {
+      // Random sampling with probability 1/deg_i.
+      const double p = 1.0 / static_cast<double>(sched.deg);
+      std::vector<Vertex> sampled;
+      for (Vertex c : centers) {
+        if (rng.bernoulli(p)) sampled.push_back(c);
+      }
+      const auto super = core::build_superclusters(
+          g, clusters, sampled, delta, radius, result.edges, &result.ledger);
+      for (Vertex c : centers) {
+        if (super.forest_root[c] == kInvalidVertex) u_centers.push_back(c);
+      }
+    } else {
+      u_centers = centers;
+    }
+
+    (void)core::interconnect(g, u_centers, alg1, delta, cap, result.edges,
+                             &result.ledger);
+    for (Vertex c : u_centers) clusters.settle_cluster(c, i);
+
+    // Stretch recursion (Lemma 2.16 with EN17 radii), for the next phase.
+    if (i >= 1) {
+      add = 2.0 * add + 6.0 * static_cast<double>(radius);
+      mul += add / static_cast<double>(L);
+    }
+    if (i < ell) radius = radius + delta;
+  }
+  // Final-phase contribution to the stretch pair was accumulated in-loop for
+  // i >= 1 using the radius entering each phase; the pair after phase ell is
+  // the guarantee.
+  result.stretch_multiplicative = mul;
+  result.stretch_additive = add;
+  result.spanner = result.edges.to_graph();
+  return result;
+}
+
+}  // namespace nas::baselines

@@ -1,0 +1,60 @@
+#include "baselines/greedy.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace nas::baselines {
+
+using graph::Graph;
+using graph::Vertex;
+
+BaselineResult build_greedy_spanner(const Graph& g, int kappa) {
+  if (kappa < 1) throw std::invalid_argument("greedy: kappa < 1");
+  const Vertex n = g.num_vertices();
+  BaselineResult result(n);
+  const std::uint32_t threshold = 2 * static_cast<std::uint32_t>(kappa) - 1;
+  result.stretch_multiplicative = threshold;
+
+  // Incremental adjacency of the spanner under construction.
+  std::vector<std::vector<Vertex>> adj(n);
+  // Scratch for bounded BFS (distance stamps avoid re-initialization).
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<std::uint64_t> stamp(n, 0);
+  std::uint64_t current = 0;
+
+  const auto bounded_dist_exceeds = [&](Vertex s, Vertex t,
+                                        std::uint32_t bound) {
+    ++current;
+    std::queue<Vertex> q;
+    q.push(s);
+    stamp[s] = current;
+    dist[s] = 0;
+    while (!q.empty()) {
+      const Vertex u = q.front();
+      q.pop();
+      if (u == t) return false;
+      if (dist[u] >= bound) continue;
+      for (Vertex w : adj[u]) {
+        if (stamp[w] != current) {
+          stamp[w] = current;
+          dist[w] = dist[u] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return true;
+  };
+
+  for (const auto& [u, v] : g.edges()) {
+    if (bounded_dist_exceeds(u, v, threshold)) {
+      result.edges.insert(u, v);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  result.spanner = result.edges.to_graph();
+  return result;
+}
+
+}  // namespace nas::baselines

@@ -1,0 +1,17 @@
+// Centralized greedy (2κ−1)-multiplicative spanner (Althöfer et al.).
+//
+// Scans edges in canonical order and keeps an edge iff the current spanner
+// distance between its endpoints exceeds 2κ−1.  Guarantees stretch 2κ−1 and
+// size O(n^{1+1/κ}) (girth argument); the strongest size/quality reference
+// point among the multiplicative baselines.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::baselines {
+
+[[nodiscard]] BaselineResult build_greedy_spanner(const graph::Graph& g,
+                                                  int kappa);
+
+}  // namespace nas::baselines

@@ -1,0 +1,248 @@
+#include "congest/async.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nas::congest {
+
+using graph::Graph;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+AsyncEngine::AsyncEngine(const Graph& g, Options options)
+    : g_(&g), options_(options) {
+  if (options_.max_delay == 0) {
+    throw std::invalid_argument("AsyncEngine: max_delay must be >= 1");
+  }
+  const Vertex n = g.num_vertices();
+  dir_offsets_.resize(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    dir_offsets_[v + 1] = dir_offsets_[v] + g.degree(v);
+  }
+  last_delivery_.assign(dir_offsets_[n], 0);
+}
+
+std::size_t AsyncEngine::directed_slot(Vertex from, Vertex to) const {
+  const auto nb = g_->neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  if (it == nb.end() || *it != to) {
+    throw std::invalid_argument("AsyncEngine: send to non-neighbor");
+  }
+  return dir_offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+}
+
+std::uint64_t AsyncEngine::delay(Vertex from, Vertex to) {
+  // Deterministic per (edge, sequence) delay: adversarial-ish jitter that
+  // is reproducible for a fixed seed.
+  const std::uint64_t key = util::mix64(
+      options_.seed ^ ((static_cast<std::uint64_t>(from) << 32) | to) ^
+      (seq_ * 0x9e3779b97f4a7c15ULL));
+  return 1 + key % options_.max_delay;
+}
+
+void AsyncEngine::enqueue(Vertex from, Vertex to, Message m) {
+  const std::size_t slot = directed_slot(from, to);
+  m.src = from;
+  std::uint64_t when = now_ + delay(from, to);
+  when = std::max(when, last_delivery_[slot] + 1);  // FIFO links
+  last_delivery_[slot] = when;
+  queue_.push(Event{when, seq_++, to, m});
+}
+
+void AsyncEngine::Port::send(Vertex to, Message m) {
+  engine_->enqueue(from_, to, m);
+}
+
+void AsyncEngine::inject(Vertex from, Vertex to, Message m) {
+  enqueue(from, to, m);
+}
+
+std::uint64_t AsyncEngine::run(const Handler& handler, std::uint64_t max_events) {
+  Port port;
+  port.engine_ = this;
+  while (!queue_.empty()) {
+    if (delivered_ >= max_events) {
+      throw std::runtime_error("AsyncEngine: event budget exhausted");
+    }
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++delivered_;
+    port.from_ = ev.to;
+    handler(ev.to, now_, ev.msg, port);
+  }
+  return now_;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronizer α.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Wire format: the program's (a, b) ride along; `c` carries (type, round).
+enum MsgType : std::uint64_t { kPayload = 1, kAck = 2, kSafe = 3 };
+
+std::uint64_t pack(MsgType type, std::uint64_t round) {
+  return (static_cast<std::uint64_t>(type) << 48) | round;
+}
+MsgType type_of(const Message& m) { return static_cast<MsgType>(m.c >> 48); }
+std::uint64_t round_of(const Message& m) {
+  return m.c & ((std::uint64_t{1} << 48) - 1);
+}
+
+struct NodeState {
+  std::uint64_t round = 0;    // round currently being executed
+  bool is_safe = false;       // safe for `round` (all payloads acked)
+  std::uint64_t pending_acks = 0;
+  std::map<std::uint64_t, std::vector<Message>> inbox;     // per future round
+  std::map<std::uint64_t, std::uint32_t> safe_count;       // SAFE(r) received
+  std::vector<std::uint8_t> sent_this_round;               // per-edge guard
+};
+
+}  // namespace
+
+AlphaResult run_alpha_synchronized(const Graph& g, std::uint64_t rounds,
+                                   const Engine::NodeProgram& program,
+                                   AsyncEngine::Options options) {
+  AlphaResult result;
+  result.rounds = rounds;
+  const Vertex n = g.num_vertices();
+  if (rounds == 0 || n == 0) return result;
+
+  AsyncEngine engine(g, options);
+  std::vector<NodeState> state(n);
+  for (Vertex v = 0; v < n; ++v) {
+    state[v].sent_this_round.assign(g.degree(v), 0);
+  }
+
+  /// The program's sending surface: tags payloads with the sender's round,
+  /// counts them for the ack protocol, and enforces the one-payload-per-
+  /// edge-per-round CONGEST constraint.
+  class AlphaMailbox final : public Mailbox {
+   public:
+    AlphaMailbox(AsyncEngine& engine, std::vector<NodeState>& state,
+                 const Graph& g, AlphaResult& result)
+        : engine_(engine), state_(state), g_(g), result_(result) {}
+
+    void send(Vertex to, Message m) override {
+      auto& st = state_[from_];
+      const auto nb = g_.neighbors(from_);
+      const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+      if (it == nb.end() || *it != to) {
+        throw std::invalid_argument("alpha: send to non-neighbor");
+      }
+      const auto idx = static_cast<std::size_t>(it - nb.begin());
+      if (st.sent_this_round[idx]) {
+        throw std::logic_error(
+            "CONGEST violation: two payloads on one edge in one round");
+      }
+      st.sent_this_round[idx] = 1;
+      if ((m.c >> 48) != 0) {
+        throw std::invalid_argument(
+            "alpha: programs may only use message fields a and b");
+      }
+      m.c = pack(kPayload, st.round);
+      ++st.pending_acks;
+      ++result_.payload_messages;
+      engine_.inject(from_, to, m);
+    }
+
+    Vertex from_ = kInvalidVertex;
+
+   private:
+    AsyncEngine& engine_;
+    std::vector<NodeState>& state_;
+    const Graph& g_;
+    AlphaResult& result_;
+  } mbox(engine, state, g, result);
+
+  std::function<void(Vertex)> execute_round, become_safe, try_advance;
+
+  execute_round = [&](Vertex v) {
+    auto& st = state[v];
+    std::fill(st.sent_this_round.begin(), st.sent_this_round.end(), 0);
+    st.is_safe = false;
+    st.pending_acks = 0;
+
+    std::vector<Message> inbox;
+    if (const auto it = st.inbox.find(st.round); it != st.inbox.end()) {
+      inbox = std::move(it->second);
+      st.inbox.erase(it);
+    }
+    std::sort(inbox.begin(), inbox.end(),
+              [](const Message& x, const Message& y) { return x.src < y.src; });
+    for (auto& m : inbox) m.c = 0;  // strip the synchronizer tag
+
+    mbox.from_ = v;
+    program(v, st.round, std::span<const Message>(inbox.data(), inbox.size()),
+            mbox);
+    if (state[v].pending_acks == 0) become_safe(v);
+  };
+
+  become_safe = [&](Vertex v) {
+    auto& st = state[v];
+    st.is_safe = true;
+    for (Vertex u : g.neighbors(v)) {
+      engine.inject(v, u, Message{.c = pack(kSafe, st.round)});
+      ++result.control_messages;
+    }
+    try_advance(v);  // isolated vertices advance without any SAFE traffic
+  };
+
+  try_advance = [&](Vertex v) {
+    auto& st = state[v];
+    while (st.is_safe && st.round + 1 < rounds &&
+           st.safe_count[st.round] == g.degree(v)) {
+      st.safe_count.erase(st.round);
+      ++st.round;
+      execute_round(v);
+    }
+  };
+
+  const AsyncEngine::Handler handler = [&](Vertex v, std::uint64_t /*now*/,
+                                           const Message& msg,
+                                           AsyncEngine::Port& /*port*/) {
+    auto& st = state[v];
+    switch (type_of(msg)) {
+      case kPayload: {
+        st.inbox[round_of(msg) + 1].push_back(msg);
+        engine.inject(v, msg.src, Message{.c = pack(kAck, round_of(msg))});
+        ++result.control_messages;
+        break;
+      }
+      case kAck: {
+        if (round_of(msg) == st.round && !st.is_safe &&
+            st.pending_acks > 0 && --st.pending_acks == 0) {
+          become_safe(v);
+        }
+        break;
+      }
+      case kSafe: {
+        ++st.safe_count[round_of(msg)];
+        try_advance(v);
+        break;
+      }
+      default:
+        throw std::logic_error("alpha: unknown message type");
+    }
+  };
+
+  // Round 0 starts everywhere unconditionally.
+  for (Vertex v = 0; v < n; ++v) execute_round(v);
+  result.virtual_time = engine.run(handler);
+
+  // Every node must have completed all rounds; anything else is a deadlock
+  // in the synchronizer (a bug, not a user error).
+  for (Vertex v = 0; v < n; ++v) {
+    if (state[v].round != rounds - 1) {
+      throw std::logic_error("alpha synchronizer deadlocked");
+    }
+  }
+  return result;
+}
+
+}  // namespace nas::congest

@@ -1,0 +1,138 @@
+#include "congest/protocols.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::congest {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+DistributedBfsResult congest_bfs(const Graph& g,
+                                 const std::vector<Vertex>& sources,
+                                 std::uint32_t depth, Ledger* ledger) {
+  DistributedBfsResult out;
+  const Vertex n = g.num_vertices();
+  out.tree.dist.assign(n, kInfDist);
+  out.tree.parent.assign(n, kInvalidVertex);
+  out.tree.root.assign(n, kInvalidVertex);
+  for (Vertex s : sources) {
+    if (s >= n) throw std::invalid_argument("congest_bfs: bad source");
+    out.tree.dist[s] = 0;
+    out.tree.root[s] = s;
+  }
+
+  Engine engine(g, ledger);
+  // Message: a = root id, b = distance of the sender.
+  const auto program = [&](Vertex v, std::uint64_t round,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    // Adopt the first token (inbox is sorted by sender, so smallest parent
+    // ID wins deterministically).
+    for (const Message& m : inbox) {
+      if (out.tree.dist[v] == kInfDist) {
+        out.tree.dist[v] = static_cast<std::uint32_t>(m.b) + 1;
+        out.tree.parent[v] = m.src;
+        out.tree.root[v] = static_cast<Vertex>(m.a);
+      }
+    }
+    // A vertex whose distance equals the current round joined this round
+    // (or is a source at round 0) and announces itself to all neighbors.
+    if (out.tree.dist[v] == round && round < depth) {
+      for (Vertex u : g.neighbors(v)) {
+        mbox.send(u, Message{.a = out.tree.root[v], .b = out.tree.dist[v]});
+      }
+    }
+  };
+  // depth announcement rounds + 1 final delivery round.
+  out.rounds = engine.run_rounds(static_cast<std::uint64_t>(depth) + 1, program);
+  return out;
+}
+
+BroadcastResult broadcast(const Graph& g, Vertex root, std::uint64_t value,
+                          Ledger* ledger) {
+  BroadcastResult out;
+  const Vertex n = g.num_vertices();
+  if (root >= n) throw std::invalid_argument("broadcast: bad root");
+  out.value.assign(n, kNoValue);
+  out.value[root] = value;
+
+  Engine engine(g, ledger);
+  std::vector<bool> announced(n, false);
+  const auto program = [&](Vertex v, std::uint64_t /*round*/,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    for (const Message& m : inbox) {
+      if (out.value[v] == kNoValue) out.value[v] = m.a;
+    }
+    if (out.value[v] != kNoValue && !announced[v]) {
+      announced[v] = true;
+      for (Vertex u : g.neighbors(v)) mbox.send(u, Message{.a = out.value[v]});
+    }
+  };
+  out.rounds = engine.run_until_quiescent(
+      program, [] { return true; }, static_cast<std::uint64_t>(n) + 2);
+  return out;
+}
+
+LeaderResult elect_min_id_leader(const Graph& g, Ledger* ledger) {
+  LeaderResult out;
+  const Vertex n = g.num_vertices();
+  out.leader.resize(n);
+  for (Vertex v = 0; v < n; ++v) out.leader[v] = v;
+
+  Engine engine(g, ledger);
+  std::vector<Vertex> last_sent(n, kInvalidVertex);
+  const auto program = [&](Vertex v, std::uint64_t /*round*/,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    for (const Message& m : inbox) {
+      out.leader[v] = std::min(out.leader[v], static_cast<Vertex>(m.a));
+    }
+    if (out.leader[v] != last_sent[v]) {
+      last_sent[v] = out.leader[v];
+      for (Vertex u : g.neighbors(v)) mbox.send(u, Message{.a = out.leader[v]});
+    }
+  };
+  out.rounds = engine.run_until_quiescent(
+      program, [] { return true; }, static_cast<std::uint64_t>(n) + 2);
+  return out;
+}
+
+std::uint64_t convergecast_sum(const Graph& g,
+                               const std::vector<Vertex>& parent, Vertex root,
+                               const std::vector<std::uint64_t>& value,
+                               Ledger* ledger) {
+  const Vertex n = g.num_vertices();
+  if (parent.size() != n || value.size() != n) {
+    throw std::invalid_argument("convergecast_sum: size mismatch");
+  }
+  // children counts: a vertex sends up once all children reported.
+  std::vector<std::uint32_t> pending_children(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (parent[v] != kInvalidVertex) ++pending_children[parent[v]];
+  }
+  std::vector<std::uint64_t> acc(value);
+  std::vector<bool> sent(n, false);
+
+  Engine engine(g, ledger);
+  const auto program = [&](Vertex v, std::uint64_t /*round*/,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    for (const Message& m : inbox) {
+      acc[v] += m.a;
+      --pending_children[v];
+    }
+    if (!sent[v] && pending_children[v] == 0 && parent[v] != kInvalidVertex) {
+      sent[v] = true;
+      mbox.send(parent[v], Message{.a = acc[v]});
+    }
+  };
+  engine.run_until_quiescent(program, [] { return true; },
+                             static_cast<std::uint64_t>(n) + 2);
+  return acc[root];
+}
+
+}  // namespace nas::congest

@@ -1,0 +1,58 @@
+// Standard CONGEST protocols implemented on the exact round engine.
+//
+// These serve three purposes: (1) substrate the paper implicitly assumes
+// (BFS trees, floods, convergecasts), (2) reference executions against which
+// the event-driven core protocols are cross-validated, (3) runnable examples
+// of the simulator's public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/engine.hpp"
+#include "congest/ledger.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::congest {
+
+/// Distributed BFS from a source set: floods layer by layer; each vertex
+/// adopts the first (smallest-sender-ID) token it hears.  Takes depth+1
+/// rounds for depth-bounded exploration.  Returns the same structure as the
+/// centralized oracle so tests can compare directly.
+struct DistributedBfsResult {
+  graph::BfsResult tree;
+  std::uint64_t rounds = 0;
+};
+[[nodiscard]] DistributedBfsResult congest_bfs(
+    const graph::Graph& g, const std::vector<graph::Vertex>& sources,
+    std::uint32_t depth, Ledger* ledger = nullptr);
+
+/// Flood a value from `root`; every reachable vertex learns it.  Returns the
+/// per-vertex value (kNoValue where unreached) and the rounds used.
+inline constexpr std::uint64_t kNoValue = static_cast<std::uint64_t>(-1);
+struct BroadcastResult {
+  std::vector<std::uint64_t> value;
+  std::uint64_t rounds = 0;
+};
+[[nodiscard]] BroadcastResult broadcast(const graph::Graph& g,
+                                        graph::Vertex root, std::uint64_t value,
+                                        Ledger* ledger = nullptr);
+
+/// Leader election by min-ID flooding; O(diameter) rounds.  Every vertex in a
+/// connected component learns the smallest vertex ID of the component.
+struct LeaderResult {
+  std::vector<graph::Vertex> leader;
+  std::uint64_t rounds = 0;
+};
+[[nodiscard]] LeaderResult elect_min_id_leader(const graph::Graph& g,
+                                               Ledger* ledger = nullptr);
+
+/// Convergecast: sums `value[v]` up a BFS tree (given by parent pointers)
+/// towards the root; returns the total received at the root.
+[[nodiscard]] std::uint64_t convergecast_sum(
+    const graph::Graph& g, const std::vector<graph::Vertex>& parent,
+    graph::Vertex root, const std::vector<std::uint64_t>& value,
+    Ledger* ledger = nullptr);
+
+}  // namespace nas::congest

@@ -1,0 +1,50 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace nas::core {
+
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+void ClusterState::merge_cluster_into(Vertex old_center, Vertex new_center) {
+  if (old_center >= n() || new_center >= n()) {
+    throw std::invalid_argument("merge_cluster_into: center out of range");
+  }
+  if (!is_center(old_center) || !is_center(new_center)) {
+    throw std::logic_error("merge_cluster_into: argument is not a live center");
+  }
+  if (old_center == new_center) return;
+  auto& from = members_[old_center];
+  auto& to = members_[new_center];
+  for (Vertex v : from) {
+    center_[v] = new_center;
+    to.push_back(v);
+  }
+  from.clear();
+  from.shrink_to_fit();
+}
+
+void ClusterState::settle_cluster(Vertex c, int phase) {
+  if (c >= n()) throw std::invalid_argument("settle_cluster: out of range");
+  if (!is_center(c)) {
+    throw std::logic_error("settle_cluster: argument is not a live center");
+  }
+  for (Vertex v : members_[c]) {
+    center_[v] = kInvalidVertex;
+    settled_phase_[v] = phase;
+    settled_center_[v] = c;
+  }
+  members_[c].clear();
+  members_[c].shrink_to_fit();
+}
+
+std::size_t ClusterState::active_count() const {
+  std::size_t count = 0;
+  for (Vertex v = 0; v < n(); ++v) {
+    if (is_active(v)) ++count;
+  }
+  return count;
+}
+
+}  // namespace nas::core

@@ -1,0 +1,84 @@
+// Cluster bookkeeping for the superclustering-and-interconnection pipeline.
+//
+// At phase i the algorithm works on a collection P_i of disjoint clusters,
+// each centered at a vertex r_C.  Vertices not covered by P_i were "settled"
+// in an earlier phase: their cluster joined U_j for some j < i (Lemma 2.6:
+// the U_j sets partition the settled vertices; Corollary 2.5: after phase ℓ
+// they partition all of V).
+//
+// Member lists are maintained incrementally so that a whole phase of merges
+// and settles costs O(n) rather than O(n · #clusters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nas::core {
+
+class ClusterState {
+ public:
+  explicit ClusterState(graph::Vertex n)
+      : center_(n), members_(n), settled_phase_(n, -1),
+        settled_center_(n, graph::kInvalidVertex) {
+    // P_0 = {{v} : v ∈ V}: every vertex is the center of its own cluster.
+    for (graph::Vertex v = 0; v < n; ++v) {
+      center_[v] = v;
+      members_[v] = {v};
+    }
+  }
+
+  [[nodiscard]] graph::Vertex n() const {
+    return static_cast<graph::Vertex>(center_.size());
+  }
+
+  /// Center of v's current cluster, or kInvalidVertex if v is settled.
+  [[nodiscard]] graph::Vertex center(graph::Vertex v) const { return center_[v]; }
+
+  [[nodiscard]] bool is_active(graph::Vertex v) const {
+    return center_[v] != graph::kInvalidVertex;
+  }
+  [[nodiscard]] bool is_center(graph::Vertex v) const { return center_[v] == v; }
+
+  /// Phase at which v's cluster joined U_i (-1 while still active).
+  [[nodiscard]] int settled_phase(graph::Vertex v) const {
+    return settled_phase_[v];
+  }
+  [[nodiscard]] graph::Vertex settled_center(graph::Vertex v) const {
+    return settled_center_[v];
+  }
+
+  /// Sorted list of current cluster centers (S_i).
+  [[nodiscard]] std::vector<graph::Vertex> centers() const {
+    std::vector<graph::Vertex> out;
+    for (graph::Vertex v = 0; v < n(); ++v) {
+      if (is_active(v) && is_center(v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Members of the live cluster centered at `c`.
+  [[nodiscard]] const std::vector<graph::Vertex>& members(graph::Vertex c) const {
+    return members_[c];
+  }
+
+  /// Moves every member of the cluster centered at `old_center` into the
+  /// cluster centered at `new_center` (superclustering).
+  void merge_cluster_into(graph::Vertex old_center, graph::Vertex new_center);
+
+  /// Marks the cluster centered at `c` as settled in phase `phase` (it joins
+  /// U_phase); its members leave the active collection.
+  void settle_cluster(graph::Vertex c, int phase);
+
+  /// Number of active (non-settled) vertices.
+  [[nodiscard]] std::size_t active_count() const;
+
+ private:
+  std::vector<graph::Vertex> center_;
+  std::vector<std::vector<graph::Vertex>> members_;  // nonempty only at centers
+  std::vector<int> settled_phase_;
+  std::vector<graph::Vertex> settled_center_;
+};
+
+}  // namespace nas::core

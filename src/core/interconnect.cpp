@@ -1,0 +1,67 @@
+#include "core/interconnect.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nas::core {
+
+using graph::Graph;
+using graph::Vertex;
+
+InterconnectResult interconnect(const Graph& g,
+                                const std::vector<Vertex>& u_centers,
+                                const Algorithm1Result& alg1,
+                                std::uint64_t delta, std::uint64_t cap,
+                                graph::EdgeSet& H, congest::Ledger* ledger) {
+  InterconnectResult res;
+  // (vertex << 32 | origin) pairs whose upward trace is already installed.
+  std::unordered_set<std::uint64_t> traced;
+
+  for (Vertex rc : u_centers) {
+    if (rc >= g.num_vertices()) {
+      throw std::invalid_argument("interconnect: center out of range");
+    }
+    for (const Knowledge& k : alg1.knowledge[rc]) {
+      ++res.paths_installed;
+      res.max_path_length = std::max<std::uint64_t>(res.max_path_length, k.dist);
+      // Walk from rc towards k.origin along stored parent pointers.
+      Vertex x = rc;
+      const Knowledge* cur = &k;
+      while (true) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(x) << 32) | cur->origin;
+        if (!traced.insert(key).second) break;  // suffix already installed
+        const Vertex p = cur->parent;
+        if (H.insert(x, p)) ++res.edges_added;
+        ++res.messages;  // one trace-token hop
+        if (cur->dist == 1) {
+          if (p != cur->origin) {
+            throw std::logic_error(
+                "interconnect: trace did not terminate at its origin");
+          }
+          break;
+        }
+        const Knowledge* next = find_knowledge(alg1.knowledge[p], cur->origin);
+        if (next == nullptr || next->dist != cur->dist - 1) {
+          throw std::logic_error(
+              "interconnect: broken parent chain (Algorithm 1 violated "
+              "Theorem 2.1(2))");
+        }
+        x = p;
+        cur = next;
+      }
+    }
+  }
+
+  res.rounds_charged = delta * cap;
+  if (ledger != nullptr) {
+    ledger->charge_rounds(res.rounds_charged);
+    ledger->charge_messages(res.messages);
+    // Per (vertex, origin) dedup bounds the per-edge token load by the
+    // knowledge cap, which fits the δ·cap window.
+    ledger->check_window_capacity(cap, delta * cap, "interconnect trace-back");
+  }
+  return res;
+}
+
+}  // namespace nas::core

@@ -1,0 +1,42 @@
+// Interconnection step (paper Section 2.3).
+//
+// Every cluster C ∈ U_i (not superclustered in this phase) adds to H a
+// shortest path to the center of every cluster C' ∈ P_i with
+// d_G(r_C, r_C') ≤ δ_i.  Because C is unpopular, Algorithm 1 left r_C with
+// *complete* knowledge of those centers, including a parent pointer per
+// learned center; the path is installed by tracing those pointers back to
+// the origin (Theorem 2.1(2)).
+//
+// Trace tokens are deduplicated per (vertex, origin): the union of traced
+// paths towards one origin is a subtree of that origin's BFS tree, so each
+// tree edge is installed once.  This keeps the per-edge token load at most
+// `cap` within the charged δ·cap-round window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "core/popular.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::core {
+
+struct InterconnectResult {
+  std::uint64_t paths_installed = 0;
+  std::uint64_t edges_added = 0;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t messages = 0;
+  /// Longest installed path (≤ δ_i by Theorem 2.1).
+  std::uint64_t max_path_length = 0;
+};
+
+/// Installs, for every center in `u_centers`, the shortest path to every
+/// origin in its Algorithm-1 knowledge list.  `alg1` must be the result of
+/// run_algorithm1 on the same graph and phase.
+[[nodiscard]] InterconnectResult interconnect(
+    const graph::Graph& g, const std::vector<graph::Vertex>& u_centers,
+    const Algorithm1Result& alg1, std::uint64_t delta, std::uint64_t cap,
+    graph::EdgeSet& H, congest::Ledger* ledger = nullptr);
+
+}  // namespace nas::core

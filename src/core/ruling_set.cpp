@@ -1,0 +1,117 @@
+#include "core/ruling_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::core {
+
+using graph::Graph;
+using graph::Vertex;
+
+namespace {
+
+/// digit_t(v): the t-th base-b digit of v, counting position 0 as the MOST
+/// significant of the c digits.
+std::uint64_t digit_at(Vertex v, int t, int c, std::uint64_t b) {
+  std::uint64_t x = v;
+  // Position c-1 is the least significant; shift away (c-1-t) lower digits.
+  for (int k = 0; k < c - 1 - t; ++k) x /= b;
+  return x % b;
+}
+
+}  // namespace
+
+RulingSetResult compute_ruling_set(const Graph& g, const std::vector<Vertex>& w,
+                                   std::uint64_t q, int c, std::uint64_t b,
+                                   congest::Ledger* ledger) {
+  if (q == 0) throw std::invalid_argument("ruling set: q == 0");
+  if (c < 1) throw std::invalid_argument("ruling set: c < 1");
+  if (b < 2) throw std::invalid_argument("ruling set: base < 2");
+  // b^c must cover the ID space so that distinct vertices have distinct
+  // digit strings (required by the separation argument).
+  {
+    long double span = 1.0L;
+    for (int t = 0; t < c; ++t) span *= static_cast<long double>(b);
+    if (span < static_cast<long double>(g.num_vertices())) {
+      throw std::invalid_argument("ruling set: b^c < n, digits not unique");
+    }
+  }
+  const Vertex n = g.num_vertices();
+  for (Vertex v : w) {
+    if (v >= n) throw std::invalid_argument("ruling set: vertex out of range");
+  }
+
+  RulingSetResult res;
+  std::vector<Vertex> active = w;
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+
+  // covered[v] == position_stamp  <=>  v is within q of some joiner of an
+  // earlier (or the current) sub-step of the current digit position.
+  // visited[v] == substep_stamp   <=>  the current sub-step's covering BFS
+  // already relayed its token through v.  These must be distinct: a vertex
+  // covered at sub-step d still *relays* the covering token at sub-steps
+  // d' > d (in CONGEST it forwards the flood regardless of its own state).
+  std::vector<std::uint64_t> covered(n, 0);
+  std::vector<std::uint64_t> visited(n, 0);
+  std::uint64_t position_stamp = 0;
+  std::uint64_t substep_stamp = 0;
+  std::vector<Vertex> bfs_cur, bfs_next;
+
+  for (int t = 0; t < c; ++t) {
+    ++position_stamp;
+    std::vector<Vertex> survivors;
+    for (std::uint64_t d = 0; d < b; ++d) {
+      ++substep_stamp;
+      // Joiners: active, right digit, not yet covered at this position.
+      std::vector<Vertex> joiners;
+      for (Vertex v : active) {
+        if (digit_at(v, t, c, b) == d && covered[v] != position_stamp) {
+          joiners.push_back(v);
+        }
+      }
+      survivors.insert(survivors.end(), joiners.begin(), joiners.end());
+
+      // Covering BFS to depth q from the joiners.  Event-driven, but the
+      // charged cost below is the full (q+1)-round sub-step window; each
+      // vertex forwards the token at most once per sub-step, so the load is
+      // 1 message per edge-direction per round.
+      bfs_cur.clear();
+      for (Vertex v : joiners) {
+        visited[v] = substep_stamp;
+        covered[v] = position_stamp;
+        bfs_cur.push_back(v);
+      }
+      for (std::uint64_t depth = 0; depth < q && !bfs_cur.empty(); ++depth) {
+        bfs_next.clear();
+        for (Vertex u : bfs_cur) {
+          res.messages += g.degree(u);
+          for (Vertex x : g.neighbors(u)) {
+            if (visited[x] != substep_stamp) {
+              visited[x] = substep_stamp;
+              covered[x] = position_stamp;
+              bfs_next.push_back(x);
+            }
+          }
+        }
+        bfs_cur.swap(bfs_next);
+      }
+    }
+    active = std::move(survivors);
+  }
+
+  std::sort(active.begin(), active.end());
+  res.rulers = std::move(active);
+  res.rounds_charged =
+      static_cast<std::uint64_t>(c) * b * (q + 1);
+  if (ledger != nullptr) {
+    ledger->charge_rounds(res.rounds_charged);
+    ledger->charge_messages(res.messages);
+    // Each sub-step forwards the covering token once per vertex: the window
+    // capacity is trivially respected (1 <= q+1).
+    ledger->check_window_capacity(1, q + 1, "ruling set covering BFS");
+  }
+  return res;
+}
+
+}  // namespace nas::core

@@ -1,0 +1,63 @@
+// Deterministic distributed ruling sets (the paper's Theorem 2.2, citing
+// Schneider-Elkin-Wattenhofer '13 / Kuhn-Maus-Weidner '18).
+//
+// Contract: given W ⊆ V and parameters q ≥ 1, c ≥ 2, compute A ⊆ W with
+//   * separation: every distinct u, v ∈ A have d_G(u, v) ≥ q + 1,
+//   * domination: every w ∈ W has some a ∈ A with d_G(w, a) ≤ q·c,
+//   * round cost O(q · c · n^{1/c}), one message per edge-direction per round.
+//
+// Algorithm (digit elimination; a self-contained instance of the
+// SEW13/KMW18 technique).  Write each vertex ID in base b = ⌈n^{1/c}⌉ using
+// c digits.  Maintain an active set, initially W.  For each digit position
+// t = 0..c−1 (most significant first):
+//
+//   reset the "covered" marks;
+//   for each digit value d = 0..b−1 (sequential sub-steps):
+//     J := { v active : digit_t(v) = d and v not covered };   // joiners
+//     survivors of this position += J;
+//     run a depth-q covering BFS from J (1 msg/edge/round, q rounds),
+//     marking every vertex within distance q as covered;
+//   active := survivors of this position.
+//
+// Why it meets the contract (proof sketch, verified by property tests):
+//   * Separation: suppose distinct u, v survive all positions with
+//     d(u,v) ≤ q.  Their IDs differ at some position t, say
+//     digit_t(u) < digit_t(v).  Both are active at position t.  At u's
+//     sub-step u joins (it survived, so it was uncovered) and its covering
+//     BFS marks v (distance ≤ q), so v cannot join at its later sub-step —
+//     contradiction.  Hence distinct survivors are ≥ q+1 apart.
+//   * Domination: a vertex dropped at position t is covered by a joiner of
+//     position t at distance ≤ q.  That joiner either survives to the end or
+//     is dropped at a *later* position, forming a chain of ≤ c hops of
+//     length ≤ q each, ending at a final survivor: distance ≤ q·c.
+//   * Rounds: c positions × b sub-steps × (q+1) rounds; the covering BFS
+//     forwards each "covered" token at most once per vertex per sub-step, so
+//     each edge-direction carries ≤ 1 message per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::core {
+
+struct RulingSetResult {
+  std::vector<graph::Vertex> rulers;  // the ruling set A, sorted
+  /// For every vertex of W: the number of digit positions it survived
+  /// (== c for rulers); diagnostic only.
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Computes a (q+1, q·c)-ruling set for `w` in G.  `b` is the digit base;
+/// callers normally pass Params::ruling_base() = ⌈n^{1/c}⌉.  Charges
+/// c · b · (q+1) rounds.
+[[nodiscard]] RulingSetResult compute_ruling_set(const graph::Graph& g,
+                                                 const std::vector<graph::Vertex>& w,
+                                                 std::uint64_t q, int c,
+                                                 std::uint64_t b,
+                                                 congest::Ledger* ledger = nullptr);
+
+}  // namespace nas::core

@@ -1,0 +1,90 @@
+#include "core/supercluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::core {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+SuperclusterResult build_superclusters(const Graph& g, ClusterState& clusters,
+                                       const std::vector<Vertex>& rulers,
+                                       std::uint64_t depth,
+                                       std::uint64_t membership_radius,
+                                       graph::EdgeSet& H,
+                                       congest::Ledger* ledger) {
+  const Vertex n = g.num_vertices();
+  SuperclusterResult res;
+  res.forest_parent.assign(n, kInvalidVertex);
+  res.forest_root.assign(n, kInvalidVertex);
+  res.forest_dist.assign(n, kInfDist);
+
+  // Layered BFS from all rulers; processing each layer in ascending vertex
+  // order makes parent/root adoption deterministic (smallest-ID discoverer
+  // of the previous layer wins).
+  std::vector<Vertex> frontier = rulers;
+  std::sort(frontier.begin(), frontier.end());
+  for (Vertex r : frontier) {
+    if (r >= n) throw std::invalid_argument("build_superclusters: bad ruler");
+    if (!clusters.is_center(r)) {
+      throw std::logic_error("build_superclusters: ruler is not a live center");
+    }
+    res.forest_dist[r] = 0;
+    res.forest_root[r] = r;
+  }
+  std::vector<Vertex> next;
+  for (std::uint64_t d = 0; d < depth && !frontier.empty(); ++d) {
+    next.clear();
+    for (Vertex u : frontier) {
+      res.messages += g.degree(u);
+      for (Vertex v : g.neighbors(u)) {
+        if (res.forest_dist[v] == kInfDist) {
+          res.forest_dist[v] = static_cast<std::uint32_t>(d) + 1;
+          res.forest_parent[v] = u;
+          res.forest_root[v] = res.forest_root[u];
+          next.push_back(v);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier.swap(next);
+  }
+
+  // Merge spanned centers into their roots and install the forest paths.
+  // `installed` marks vertices whose upward path to the root is already in
+  // H (paths in one forest tree share suffixes, so each forest edge is
+  // added at most once).
+  std::vector<std::uint8_t> installed(n, 0);
+  for (Vertex c : clusters.centers()) {
+    if (res.forest_root[c] == kInvalidVertex) continue;  // out of range
+    res.superclustered_centers.push_back(c);
+    // Walk up to the root.
+    Vertex x = c;
+    while (res.forest_parent[x] != kInvalidVertex && !installed[x]) {
+      installed[x] = 1;
+      const Vertex p = res.forest_parent[x];
+      if (H.insert(x, p)) ++res.edges_added;
+      res.messages += 1;  // one trace token hop
+      x = p;
+    }
+  }
+  for (Vertex c : res.superclustered_centers) {
+    const Vertex root = res.forest_root[c];
+    if (c != root) clusters.merge_cluster_into(c, root);
+  }
+
+  res.rounds_charged = 2 * (depth + 1) + membership_radius;
+  if (ledger != nullptr) {
+    ledger->charge_rounds(res.rounds_charged);
+    ledger->charge_messages(res.messages);
+    // BFS and path install both put at most one message per edge-direction
+    // per round within their (depth+1)-round windows.
+    ledger->check_window_capacity(1, depth + 1, "supercluster forest");
+  }
+  return res;
+}
+
+}  // namespace nas::core

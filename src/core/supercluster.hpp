@@ -1,0 +1,48 @@
+// Superclustering step (paper Section 2.2).
+//
+// Given the ruling set RS_i ⊆ W_i, a BFS forest F_i of depth D_i = 2δ_i·c is
+// grown from RS_i.  Every cluster whose center is spanned by F_i is merged
+// into the supercluster of its tree root, and the root-to-center forest path
+// is added to the spanner H.  The ruling set's domination radius (q·c = D_i)
+// guarantees every popular center is spanned (Lemma 2.4); its separation
+// (q+1 = 2δ_i+1) makes the δ_i-neighborhoods of distinct roots disjoint,
+// which drives the cluster-counting Lemmas 2.10/2.11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "core/cluster.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::core {
+
+struct SuperclusterResult {
+  /// BFS forest: parent/root/dist per vertex (kInvalidVertex / kInfDist when
+  /// out of range of every root).
+  std::vector<graph::Vertex> forest_parent;
+  std::vector<graph::Vertex> forest_root;
+  std::vector<std::uint32_t> forest_dist;
+  /// Centers of S_i that were superclustered (spanned by the forest),
+  /// including the roots themselves.
+  std::vector<graph::Vertex> superclustered_centers;
+  std::uint64_t edges_added = 0;
+  std::uint64_t rounds_charged = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Grows the BFS forest from `rulers` to depth `depth`, merges every spanned
+/// center's cluster into its root's cluster (mutating `clusters`), and
+/// installs the root-to-center forest paths into `H`.
+///
+/// Round accounting: (depth+1) for the forest BFS (1 message per edge),
+/// (depth+1) for the path installation sweep, and `membership_radius` for
+/// the intra-cluster membership broadcast — all charged to `ledger`.
+[[nodiscard]] SuperclusterResult build_superclusters(
+    const graph::Graph& g, ClusterState& clusters,
+    const std::vector<graph::Vertex>& rulers, std::uint64_t depth,
+    std::uint64_t membership_radius, graph::EdgeSet& H,
+    congest::Ledger* ledger = nullptr);
+
+}  // namespace nas::core

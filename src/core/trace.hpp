@@ -1,0 +1,77 @@
+// Structured per-phase instrumentation of a spanner construction.
+//
+// The paper's Figures 1-5 illustrate what each phase does (popular centers,
+// ruling sets, supercluster forests, interconnection paths); the benches
+// regenerate them from this trace instead of scraping logs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nas::core {
+
+struct PhaseTrace {
+  int index = 0;
+
+  // Schedule (copied from PhaseSchedule for self-contained reporting).
+  std::uint64_t delta = 0;
+  std::uint64_t deg = 0;
+  std::uint64_t forest_depth = 0;
+  std::uint64_t radius_bound = 0;       ///< R_i (bound on Rad(P_i))
+  std::uint64_t radius_bound_next = 0;  ///< R_{i+1}
+
+  // Structure counts.
+  std::uint64_t num_clusters = 0;        ///< |P_i|
+  std::uint64_t num_popular = 0;         ///< |W_i|
+  std::uint64_t num_rulers = 0;          ///< |RS_i| = |P_{i+1}|
+  std::uint64_t num_superclustered = 0;  ///< centers spanned by F_i
+  std::uint64_t num_settled = 0;         ///< |U_i|
+
+  // Spanner growth.
+  std::uint64_t edges_super = 0;
+  std::uint64_t edges_inter = 0;
+  std::uint64_t paths_inter = 0;
+  std::uint64_t max_inter_path = 0;
+
+  // Cost.
+  std::uint64_t rounds_alg1 = 0;
+  std::uint64_t rounds_ruling = 0;
+  std::uint64_t rounds_super = 0;
+  std::uint64_t rounds_inter = 0;
+  [[nodiscard]] std::uint64_t rounds_total() const {
+    return rounds_alg1 + rounds_ruling + rounds_super + rounds_inter;
+  }
+
+  // Validation measurements (filled when BuildOptions::validate is set).
+  std::uint64_t measured_max_radius = 0;  ///< max Rad over new superclusters
+  bool radius_ok = true;                  ///< measured ≤ R_{i+1} (Lemma 2.3)
+  bool popular_covered_ok = true;         ///< W_i ⊆ spanned (Lemma 2.4)
+  bool separation_ok = true;              ///< RS_i pairwise ≥ q+1 (Thm 2.2)
+  bool domination_ok = true;              ///< W_i within q·c of RS_i (Thm 2.2)
+};
+
+struct Trace {
+  std::vector<PhaseTrace> phases;
+
+  [[nodiscard]] std::uint64_t total_rounds() const {
+    std::uint64_t total = 0;
+    for (const auto& ph : phases) total += ph.rounds_total();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_edges() const {
+    std::uint64_t total = 0;
+    for (const auto& ph : phases) total += ph.edges_super + ph.edges_inter;
+    return total;
+  }
+  [[nodiscard]] bool all_invariants_ok() const {
+    for (const auto& ph : phases) {
+      if (!ph.radius_ok || !ph.popular_covered_ok || !ph.separation_ok ||
+          !ph.domination_ok) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace nas::core

@@ -1,0 +1,30 @@
+#include "graph/apsp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace nas::graph {
+
+Apsp::Apsp(const Graph& g, Vertex max_n) : n_(g.num_vertices()) {
+  if (n_ > max_n) {
+    throw std::invalid_argument("Apsp: graph too large for the exact oracle");
+  }
+  dist_.resize(static_cast<std::size_t>(n_) * n_);
+  for (Vertex s = 0; s < n_; ++s) {
+    const auto res = bfs(g, s);
+    std::copy(res.dist.begin(), res.dist.end(),
+              dist_.begin() + static_cast<std::size_t>(s) * n_);
+  }
+}
+
+std::uint32_t Apsp::max_finite_distance() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t d : dist_) {
+    if (d != kInfDist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace nas::graph

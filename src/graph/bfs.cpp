@@ -1,0 +1,86 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+
+namespace nas::graph {
+
+namespace {
+
+BfsResult bfs_impl(const Graph& g, const std::vector<Vertex>& sources,
+                   std::uint32_t depth_limit) {
+  const Vertex n = g.num_vertices();
+  BfsResult res;
+  res.dist.assign(n, kInfDist);
+  res.parent.assign(n, kInvalidVertex);
+  res.root.assign(n, kInvalidVertex);
+
+  // Seed in sorted order so that equidistant ties resolve to the smaller
+  // source ID (FIFO queue preserves insertion order per level).
+  std::vector<Vertex> seeds = sources;
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  std::queue<Vertex> q;
+  for (Vertex s : seeds) {
+    if (s >= n) throw std::invalid_argument("bfs: source out of range");
+    res.dist[s] = 0;
+    res.root[s] = s;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    if (res.dist[u] >= depth_limit) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (res.dist[v] == kInfDist) {
+        res.dist[v] = res.dist[u] + 1;
+        res.parent[v] = u;
+        res.root[v] = res.root[u];
+        q.push(v);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+BfsResult bfs(const Graph& g, Vertex source) {
+  return bfs_impl(g, {source}, kInfDist);
+}
+
+BfsResult multi_source_bfs(const Graph& g, const std::vector<Vertex>& sources) {
+  return bfs_impl(g, sources, kInfDist);
+}
+
+BfsResult multi_source_bfs_bounded(const Graph& g,
+                                   const std::vector<Vertex>& sources,
+                                   std::uint32_t depth) {
+  return bfs_impl(g, sources, depth);
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex v) {
+  const auto res = bfs(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : res.dist) {
+    if (d != kInfDist) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_largest_component(const Graph& g) {
+  const auto comp = connected_components(g);
+  std::uint32_t diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (comp.component[v] == comp.largest) {
+      diam = std::max(diam, eccentricity(g, v));
+    }
+  }
+  return diam;
+}
+
+}  // namespace nas::graph

@@ -1,0 +1,42 @@
+// Centralized BFS primitives.
+//
+// These are the *verification* oracles: exact distances against which the
+// distributed constructions are checked.  They are deliberately independent
+// of the CONGEST simulator code path.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nas::graph {
+
+/// Result of a (single- or multi-source) BFS.
+struct BfsResult {
+  std::vector<std::uint32_t> dist;  // kInfDist if unreachable
+  std::vector<Vertex> parent;       // kInvalidVertex at sources/unreached
+  std::vector<Vertex> root;         // nearest source (kInvalidVertex if none)
+};
+
+/// BFS from a single source.
+[[nodiscard]] BfsResult bfs(const Graph& g, Vertex source);
+
+/// BFS from a set of sources.  Ties between equidistant sources are broken
+/// towards the source reached through the smallest-ID parent chain; with the
+/// sorted adjacency lists this makes the result deterministic.
+[[nodiscard]] BfsResult multi_source_bfs(const Graph& g,
+                                         const std::vector<Vertex>& sources);
+
+/// Depth-bounded variant: vertices farther than `depth` from every source
+/// keep dist == kInfDist.
+[[nodiscard]] BfsResult multi_source_bfs_bounded(
+    const Graph& g, const std::vector<Vertex>& sources, std::uint32_t depth);
+
+/// Eccentricity of `v` within its connected component.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, Vertex v);
+
+/// Exact diameter (max eccentricity) of the graph restricted to its largest
+/// connected component.  O(n·m) — intended for test/bench scale graphs.
+[[nodiscard]] std::uint32_t diameter_largest_component(const Graph& g);
+
+}  // namespace nas::graph

@@ -1,0 +1,63 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace nas::graph {
+
+Components connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  Components out;
+  out.component.assign(n, kInvalidVertex);
+  std::queue<Vertex> q;
+  for (Vertex s = 0; s < n; ++s) {
+    if (out.component[s] != kInvalidVertex) continue;
+    const Vertex id = out.count++;
+    out.sizes.push_back(0);
+    out.component[s] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const Vertex u = q.front();
+      q.pop();
+      ++out.sizes[id];
+      for (Vertex v : g.neighbors(u)) {
+        if (out.component[v] == kInvalidVertex) {
+          out.component[v] = id;
+          q.push(v);
+        }
+      }
+    }
+  }
+  if (out.count > 0) {
+    out.largest = static_cast<Vertex>(std::distance(
+        out.sizes.begin(), std::max_element(out.sizes.begin(), out.sizes.end())));
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+LargestComponent largest_component(const Graph& g) {
+  const auto comp = connected_components(g);
+  LargestComponent out;
+  out.old_to_new.assign(g.num_vertices(), kInvalidVertex);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (comp.count > 0 && comp.component[v] == comp.largest) {
+      out.old_to_new[v] = static_cast<Vertex>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (const auto& [u, v] : g.edges()) {
+    if (out.old_to_new[u] != kInvalidVertex && out.old_to_new[v] != kInvalidVertex) {
+      edges.emplace_back(out.old_to_new[u], out.old_to_new[v]);
+    }
+  }
+  out.graph = Graph::from_edges(static_cast<Vertex>(out.new_to_old.size()), edges);
+  return out;
+}
+
+}  // namespace nas::graph

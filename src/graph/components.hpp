@@ -1,0 +1,30 @@
+// Connectivity helpers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nas::graph {
+
+struct Components {
+  std::vector<Vertex> component;  // component id per vertex (0-based)
+  std::vector<std::size_t> sizes;
+  Vertex count = 0;
+  Vertex largest = 0;  // id of the largest component
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Returns the induced subgraph on the largest connected component together
+/// with the old->new vertex id map (kInvalidVertex for dropped vertices).
+struct LargestComponent {
+  Graph graph;
+  std::vector<Vertex> old_to_new;
+  std::vector<Vertex> new_to_old;
+};
+[[nodiscard]] LargestComponent largest_component(const Graph& g);
+
+}  // namespace nas::graph

@@ -1,0 +1,65 @@
+#include "graph/dot.hpp"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nas::graph {
+
+namespace {
+
+// A qualitative palette; group ids are hashed onto it.
+constexpr std::array<const char*, 12> kPalette = {
+    "#a6cee3", "#1f78b4", "#b2df8a", "#33a02c", "#fb9a99", "#e31a1c",
+    "#fdbf6f", "#ff7f00", "#cab2d6", "#6a3d9a", "#ffff99", "#b15928"};
+
+}  // namespace
+
+void write_dot(const Graph& g, const DotStyle& style, std::ostream& out) {
+  if (!style.group.empty() && style.group.size() != g.num_vertices()) {
+    throw std::invalid_argument("write_dot: group size mismatch");
+  }
+  std::unordered_set<Vertex> emphasized(style.emphasized.begin(),
+                                        style.emphasized.end());
+  std::unordered_set<std::uint64_t> highlighted;
+  for (const auto& [u, v] : style.highlighted_edges) {
+    highlighted.insert(edge_key(u, v));
+  }
+
+  out << "graph \"" << style.name << "\" {\n"
+      << "  layout=neato;\n  overlap=false;\n  node [style=filled];\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v << " [";
+    if (!style.group.empty() && style.group[v] != kInvalidVertex) {
+      out << "fillcolor=\"" << kPalette[style.group[v] % kPalette.size()]
+          << "\"";
+    } else {
+      out << "fillcolor=\"#eeeeee\"";
+    }
+    if (emphasized.count(v)) out << ", shape=doublecircle, penwidth=2";
+    out << "];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  " << u << " -- " << v;
+    if (!style.highlighted_edges.empty()) {
+      if (highlighted.count(edge_key(u, v))) {
+        out << " [penwidth=2]";
+      } else {
+        out << " [style=dotted, color=\"#999999\"]";
+      }
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+void write_dot_file(const Graph& g, const DotStyle& style,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dot_file: cannot open " + path);
+  write_dot(g, style, out);
+}
+
+}  // namespace nas::graph

@@ -1,0 +1,32 @@
+// Graphviz (DOT) export, used to regenerate the paper's illustrations
+// (Figures 1-5) from real runs: clusters as colors, spanner edges as solid
+// lines, non-spanner edges dotted, cluster centers emphasized.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nas::graph {
+
+struct DotStyle {
+  /// Optional group id per vertex (same group = same color); kInvalidVertex
+  /// means ungrouped.
+  std::vector<Vertex> group;
+  /// Vertices drawn with double circles (e.g. cluster centers).
+  std::vector<Vertex> emphasized;
+  /// Edges of this subgraph are drawn solid/bold; all other edges of the
+  /// base graph dotted.  Empty = draw everything solid.
+  std::vector<Edge> highlighted_edges;
+  std::string name = "G";
+};
+
+/// Writes `g` as an undirected DOT graph with the given styling.
+void write_dot(const Graph& g, const DotStyle& style, std::ostream& out);
+
+void write_dot_file(const Graph& g, const DotStyle& style,
+                    const std::string& path);
+
+}  // namespace nas::graph

@@ -1,0 +1,317 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "graph/components.hpp"
+#include "util/rng.hpp"
+
+namespace nas::graph {
+
+using util::Xoshiro256;
+
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: bad p");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  if (p >= 1.0) return complete(n);
+  if (p > 0.0) {
+    // Geometric skipping: visit only the edges that exist.
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double u = std::max(rng.uniform(), 1e-18);
+      idx += 1 + static_cast<std::uint64_t>(std::floor(std::log(u) / log1mp));
+      if (idx > total) break;
+      // Map linear index in [1, total] to the (u, v) pair.
+      const std::uint64_t k = idx - 1;
+      // Row r such that r*(r-1)/2 <= k < (r+1)*r/2 with rows of growing size:
+      // solve quadratically, then fix up.
+      auto r = static_cast<std::uint64_t>(
+          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(k))) / 2.0);
+      while (r * (r - 1) / 2 > k) --r;
+      while ((r + 1) * r / 2 <= k) ++r;
+      const std::uint64_t c = k - r * (r - 1) / 2;
+      edges.emplace_back(static_cast<Vertex>(r), static_cast<Vertex>(c));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph gnm(Vertex n, std::size_t m, std::uint64_t seed) {
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = static_cast<std::size_t>(std::min<std::uint64_t>(m, total));
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  while (edges.size() < m) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.push_back({u, v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regularish(Vertex n, Vertex d, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex k = 0; k < d; ++k) {
+      const auto v = static_cast<Vertex>(rng.below(n));
+      if (v != u) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph torus(Vertex rows, Vertex cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus: need >=3x3");
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph hypercube(Vertex dim) {
+  if (dim > 24) throw std::invalid_argument("hypercube: dim too large");
+  const Vertex n = Vertex{1} << dim;
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex b = 0; b < dim; ++b) {
+      const Vertex u = v ^ (Vertex{1} << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_geometric(Vertex n, double radius, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n), y(n);
+  for (Vertex v = 0; v < n; ++v) {
+    x[v] = rng.uniform();
+    y[v] = rng.uniform();
+  }
+  // Grid-bucket the points so we only compare nearby pairs.
+  const double cell = std::max(radius, 1e-6);
+  const auto cells = static_cast<Vertex>(std::floor(1.0 / cell)) + 1;
+  std::vector<std::vector<Vertex>> bucket(static_cast<std::size_t>(cells) * cells);
+  auto bucket_of = [&](Vertex v) {
+    const auto bx = std::min<Vertex>(static_cast<Vertex>(x[v] / cell), cells - 1);
+    const auto by = std::min<Vertex>(static_cast<Vertex>(y[v] / cell), cells - 1);
+    return static_cast<std::size_t>(bx) * cells + by;
+  };
+  for (Vertex v = 0; v < n; ++v) bucket[bucket_of(v)].push_back(v);
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto bx = static_cast<std::int64_t>(std::min<Vertex>(
+        static_cast<Vertex>(x[v] / cell), cells - 1));
+    const auto by = static_cast<std::int64_t>(std::min<Vertex>(
+        static_cast<Vertex>(y[v] / cell), cells - 1));
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int64_t nx = bx + dx, ny = by + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (Vertex u : bucket[static_cast<std::size_t>(nx) * cells +
+                               static_cast<std::size_t>(ny)]) {
+          if (u <= v) continue;
+          const double ddx = x[u] - x[v], ddy = y[u] - y[v];
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, u);
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph barabasi_albert(Vertex n, Vertex attach, std::uint64_t seed) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach == 0");
+  if (n <= attach) throw std::invalid_argument("barabasi_albert: n <= attach");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: picking a uniform element is preferential
+  // attachment by degree.
+  std::vector<Vertex> endpoints;
+  for (Vertex v = 0; v < attach; ++v) {
+    // Seed clique among the first `attach` vertices keeps early picks sane.
+    for (Vertex u = v + 1; u < attach; ++u) {
+      edges.emplace_back(v, u);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  if (endpoints.empty()) endpoints.push_back(0);
+  for (Vertex v = attach; v < n; ++v) {
+    std::unordered_set<Vertex> targets;
+    while (targets.size() < attach) {
+      const Vertex t = endpoints[rng.below(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (Vertex t : targets) {
+      edges.emplace_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph caveman(Vertex caves, Vertex cave_size, Vertex bridges, std::uint64_t seed) {
+  if (caves == 0 || cave_size == 0) {
+    throw std::invalid_argument("caveman: empty shape");
+  }
+  Xoshiro256 rng(seed);
+  const Vertex n = caves * cave_size;
+  std::vector<Edge> edges;
+  for (Vertex c = 0; c < caves; ++c) {
+    const Vertex base = c * cave_size;
+    for (Vertex i = 0; i < cave_size; ++i) {
+      for (Vertex j = i + 1; j < cave_size; ++j) {
+        edges.emplace_back(base + i, base + j);
+      }
+    }
+    // Ring of caves: connect cave c's last vertex to cave (c+1)'s first.
+    if (caves > 1) {
+      const Vertex next_base = ((c + 1) % caves) * cave_size;
+      edges.emplace_back(base + cave_size - 1, next_base);
+    }
+  }
+  for (Vertex b = 0; b < bridges; ++b) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(Vertex n) {
+  if (n < 3) throw std::invalid_argument("cycle: n < 3");
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph binary_tree(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(v, (v - 1) / 2);
+  return Graph::from_edges(n, edges);
+}
+
+Graph dumbbell(Vertex blob, Vertex bar) {
+  if (blob < 1) throw std::invalid_argument("dumbbell: blob < 1");
+  const Vertex n = 2 * blob + bar;
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < blob; ++u) {
+    for (Vertex v = u + 1; v < blob; ++v) edges.emplace_back(u, v);
+  }
+  const Vertex right = blob + bar;
+  for (Vertex u = right; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  // The bar: blob-1 -> blob -> ... -> right.
+  Vertex prev = blob - 1;
+  for (Vertex v = blob; v < right; ++v) {
+    edges.emplace_back(prev, v);
+    prev = v;
+  }
+  edges.emplace_back(prev, right);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_workload(const std::string& family, Vertex n, std::uint64_t seed) {
+  Graph g;
+  if (family == "er") {
+    // Average degree ~8: comfortably connected, visibly compressible.
+    g = erdos_renyi(n, std::min(1.0, 8.0 / std::max<Vertex>(n - 1, 1)), seed);
+  } else if (family == "er_dense") {
+    g = erdos_renyi(n, std::min(1.0, 32.0 / std::max<Vertex>(n - 1, 1)), seed);
+  } else if (family == "gnm") {
+    g = gnm(n, static_cast<std::size_t>(n) * 4, seed);
+  } else if (family == "regular") {
+    g = random_regularish(n, 3, seed);
+  } else if (family == "grid") {
+    const auto side = static_cast<Vertex>(std::sqrt(static_cast<double>(n)));
+    g = grid(std::max<Vertex>(side, 2), std::max<Vertex>(side, 2));
+  } else if (family == "torus") {
+    const auto side = std::max<Vertex>(
+        3, static_cast<Vertex>(std::sqrt(static_cast<double>(n))));
+    g = torus(side, side);
+  } else if (family == "hypercube") {
+    Vertex dim = 1;
+    while ((Vertex{1} << (dim + 1)) <= n) ++dim;
+    g = hypercube(dim);
+  } else if (family == "geometric") {
+    const double r = 1.6 * std::sqrt(std::log(std::max<double>(n, 2)) /
+                                     (3.141592653589793 * n));
+    g = random_geometric(n, r, seed);
+  } else if (family == "ba") {
+    g = barabasi_albert(n, 3, seed);
+  } else if (family == "caveman") {
+    const auto cave = std::max<Vertex>(
+        4, static_cast<Vertex>(std::cbrt(static_cast<double>(n))));
+    g = caveman(std::max<Vertex>(n / cave, 1), cave, n / 20, seed);
+  } else if (family == "path") {
+    g = path(n);
+  } else if (family == "cycle") {
+    g = cycle(std::max<Vertex>(n, 3));
+  } else if (family == "star") {
+    g = star(n);
+  } else if (family == "complete") {
+    g = complete(n);
+  } else if (family == "tree") {
+    g = binary_tree(n);
+  } else if (family == "dumbbell") {
+    const Vertex blob = std::max<Vertex>(n * 2 / 5, 2);
+    g = dumbbell(blob, n - 2 * blob);
+  } else {
+    throw std::invalid_argument("make_workload: unknown family " + family);
+  }
+  return largest_component(g).graph;
+}
+
+}  // namespace nas::graph

@@ -1,0 +1,83 @@
+// Workload generators.
+//
+// The paper has no empirical section, so the reproduction harness needs a
+// spread of graph families that exercise the algorithm's regimes:
+//   - dense random graphs (many popular clusters, deep superclustering),
+//   - sparse random / bounded-degree graphs (interconnection-dominated),
+//   - structured low-diameter graphs (hypercube) and high-diameter grids
+//     and tori (long shortest paths -> the near-additive guarantee matters),
+//   - clustered "caveman" graphs (the paper's Figure 1 intuition: dense
+//     areas become superclusters),
+//   - scale-free Barabasi-Albert graphs (heavy-tailed popularity),
+//   - adversarial shapes (dumbbell: two dense blobs joined by a long path).
+//
+// All generators are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace nas::graph {
+
+/// Erdos-Renyi G(n, p).
+[[nodiscard]] Graph erdos_renyi(Vertex n, double p, std::uint64_t seed);
+
+/// G(n, m): exactly m distinct uniform edges (m capped at n(n-1)/2).
+[[nodiscard]] Graph gnm(Vertex n, std::size_t m, std::uint64_t seed);
+
+/// Random graph with every vertex given `d` random out-picks (deduplicated),
+/// i.e. expected average degree close to 2d; a cheap bounded-ish-degree model.
+[[nodiscard]] Graph random_regularish(Vertex n, Vertex d, std::uint64_t seed);
+
+/// rows x cols grid (4-neighborhood).  n = rows*cols.
+[[nodiscard]] Graph grid(Vertex rows, Vertex cols);
+
+/// rows x cols torus (grid with wraparound).
+[[nodiscard]] Graph torus(Vertex rows, Vertex cols);
+
+/// Hypercube on 2^dim vertices.
+[[nodiscard]] Graph hypercube(Vertex dim);
+
+/// Random geometric graph: n points in the unit square, edge iff distance
+/// <= radius.
+[[nodiscard]] Graph random_geometric(Vertex n, double radius, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices.
+[[nodiscard]] Graph barabasi_albert(Vertex n, Vertex attach, std::uint64_t seed);
+
+/// Connected caveman-style graph: `caves` cliques of size `cave_size`, with
+/// `bridges` random inter-cave edges (plus a ring of caves to guarantee
+/// connectivity).
+[[nodiscard]] Graph caveman(Vertex caves, Vertex cave_size, Vertex bridges,
+                            std::uint64_t seed);
+
+/// Path on n vertices.
+[[nodiscard]] Graph path(Vertex n);
+
+/// Cycle on n vertices (n >= 3).
+[[nodiscard]] Graph cycle(Vertex n);
+
+/// Star with n-1 leaves.
+[[nodiscard]] Graph star(Vertex n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(Vertex n);
+
+/// Complete balanced binary tree on n vertices.
+[[nodiscard]] Graph binary_tree(Vertex n);
+
+/// Dumbbell: two cliques of size `blob` joined by a path of `bar` vertices.
+[[nodiscard]] Graph dumbbell(Vertex blob, Vertex bar);
+
+/// Named dispatch used by bench binaries: one of
+/// er | gnm | regular | grid | torus | hypercube | geometric | ba | caveman |
+/// path | cycle | star | complete | tree | dumbbell.
+/// `n` is the target vertex count; family-specific shape parameters are
+/// derived from it with sensible defaults.  Always returns the largest
+/// connected component relabeled to [0, n').
+[[nodiscard]] Graph make_workload(const std::string& family, Vertex n,
+                                  std::uint64_t seed);
+
+}  // namespace nas::graph

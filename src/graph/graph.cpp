@@ -1,0 +1,93 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::graph {
+
+Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
+  Graph g;
+  g.n_ = n;
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("Graph::from_edges: endpoint out of range");
+    }
+    if (u == v) {
+      throw std::invalid_argument("Graph::from_edges: self-loop rejected");
+    }
+    keys.push_back(edge_key(u, v));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  g.m_ = keys.size();
+
+  std::vector<std::size_t> deg(n + 1, 0);
+  for (std::uint64_t k : keys) {
+    ++deg[static_cast<Vertex>(k >> 32)];
+    ++deg[static_cast<Vertex>(k & 0xffffffffu)];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.adj_.resize(2 * g.m_);
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::uint64_t k : keys) {
+    const auto u = static_cast<Vertex>(k >> 32);
+    const auto v = static_cast<Vertex>(k & 0xffffffffu);
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  // Keys were processed in sorted order, so each adjacency list is sorted:
+  // for a fixed u, its neighbors v > u appear in increasing order, and its
+  // neighbors v < u also arrive in increasing order of v because keys sort by
+  // (min, max).  The two interleave correctly since all (v, u) with v < u
+  // precede all (u, w) with w > u... which is NOT true in general, so sort
+  // each list explicitly to keep the invariant simple and guaranteed.
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m_);
+  for (Vertex u = 0; u < n_; ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::summary() const {
+  return "Graph(n=" + std::to_string(n_) + ", m=" + std::to_string(m_) + ")";
+}
+
+bool EdgeSet::insert(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("EdgeSet::insert: endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("EdgeSet::insert: self-loop");
+  const auto [_, inserted] = keys_.insert(edge_key(u, v));
+  if (inserted) edges_.push_back(canonical(u, v));
+  return inserted;
+}
+
+}  // namespace nas::graph

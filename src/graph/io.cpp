@@ -1,0 +1,50 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nas::graph {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  write_edge_list(g, out);
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  Vertex n = 0;
+  std::size_t m = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (ls >> n >> m) {
+        have_header = true;
+        edges.reserve(m);
+      }
+      continue;
+    }
+    Vertex u, v;
+    if (ls >> u >> v) edges.emplace_back(u, v);
+  }
+  if (!have_header) throw std::runtime_error("read_edge_list: missing header");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace nas::graph

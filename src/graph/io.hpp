@@ -1,0 +1,17 @@
+// Edge-list I/O: "n m" header followed by "u v" lines; '#' comments allowed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace nas::graph {
+
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+}  // namespace nas::graph

@@ -1,0 +1,50 @@
+// Minimal CSV writer for machine-readable bench output (`--csv <file>`).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nas::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Pass an empty path
+  /// to create a disabled writer (all writes become no-ops), which lets bench
+  /// code call `row(...)` unconditionally.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+    if (path.empty()) return;
+    out_.open(path);
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    row(header);
+  }
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  void row(const std::vector<std::string>& cells) {
+    if (!out_.is_open()) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char ch : s) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace nas::util

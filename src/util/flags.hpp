@@ -1,0 +1,81 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports `--name value` and `--name=value`.  Unknown flags raise, so typos
+// in experiment scripts fail loudly instead of silently running the default
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace nas::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected positional argument: " + arg);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& name,
+                                const std::string& fallback) const {
+    touch(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t integer(const std::string& name,
+                                     std::int64_t fallback) const {
+    touch(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  [[nodiscard]] double real(const std::string& name, double fallback) const {
+    touch(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] bool boolean(const std::string& name, bool fallback) const {
+    touch(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  /// Call after all flags were read; throws on flags the binary never asked
+  /// about (catches typos like --kapa).
+  void reject_unknown() const {
+    for (const auto& [name, value] : values_) {
+      if (!known_.count(name)) {
+        throw std::invalid_argument("unknown flag --" + name + "=" + value);
+      }
+    }
+  }
+
+ private:
+  void touch(const std::string& name) const { known_.insert(name); }
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> known_;
+};
+
+}  // namespace nas::util

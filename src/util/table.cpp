@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace nas::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+void print_rule(std::ostream& out, const std::vector<std::size_t>& widths) {
+  out << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) out << '-';
+    out << '+';
+  }
+  out << '\n';
+}
+
+void print_cells(std::ostream& out, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    out << ' ' << cell;
+    for (std::size_t i = cell.size(); i < widths[c]; ++i) out << ' ';
+    out << " |";
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  print_rule(out, widths);
+  print_cells(out, headers_, widths);
+  print_rule(out, widths);
+  for (const auto& row : rows_) print_cells(out, row, widths);
+  print_rule(out, widths);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::scientific << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+}  // namespace nas::util

@@ -1,0 +1,43 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary prints paper-style rows; this widget keeps them aligned
+// and consistent.  Cells are strings; numeric helpers format with fixed
+// precision so columns of measurements line up.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nas::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with box-drawing rules to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (convenience for logging/tests).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  // Formatting helpers used pervasively by the bench binaries.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nas::util

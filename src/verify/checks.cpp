@@ -1,0 +1,33 @@
+#include "verify/checks.hpp"
+
+#include <cmath>
+
+namespace nas::verify {
+
+using graph::Graph;
+
+bool is_subgraph(const Graph& g, const Graph& h) {
+  if (h.num_vertices() != g.num_vertices()) return false;
+  for (const auto& [u, v] : h.edges()) {
+    if (!g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+SizeReport size_report(const Graph& g, const Graph& h, double beta, int kappa) {
+  SizeReport rep;
+  rep.spanner_edges = h.num_edges();
+  rep.input_edges = g.num_edges();
+  rep.compression = g.num_edges() == 0
+                        ? 1.0
+                        : static_cast<double>(h.num_edges()) /
+                              static_cast<double>(g.num_edges());
+  const double nk = std::pow(static_cast<double>(g.num_vertices()),
+                             1.0 + 1.0 / kappa);
+  rep.normalized = nk == 0.0 ? 0.0 : static_cast<double>(h.num_edges()) / nk;
+  rep.bound = beta * nk;
+  rep.within_bound = static_cast<double>(h.num_edges()) <= rep.bound;
+  return rep;
+}
+
+}  // namespace nas::verify

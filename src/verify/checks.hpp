@@ -1,0 +1,27 @@
+// Structural spanner checks shared by tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace nas::verify {
+
+/// True iff every edge of `h` is an edge of `g` (a spanner must be a
+/// subgraph of its input).
+[[nodiscard]] bool is_subgraph(const graph::Graph& g, const graph::Graph& h);
+
+/// Size report against the paper's O(β·n^{1+1/κ}) bound.
+struct SizeReport {
+  std::size_t spanner_edges = 0;
+  std::size_t input_edges = 0;
+  double compression = 1.0;        ///< |H| / |E|
+  double normalized = 0.0;         ///< |H| / n^{1+1/κ}
+  double bound = 0.0;              ///< β · n^{1+1/κ}
+  bool within_bound = true;
+};
+[[nodiscard]] SizeReport size_report(const graph::Graph& g,
+                                     const graph::Graph& h, double beta,
+                                     int kappa);
+
+}  // namespace nas::verify

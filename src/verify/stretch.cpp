@@ -1,0 +1,100 @@
+#include "verify/stretch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace nas::verify {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::Vertex;
+
+namespace {
+
+void accumulate_source(const Graph& g, const Graph& h, Vertex s, double m,
+                       double a, StretchReport& rep, double& mult_sum,
+                       std::uint64_t& mult_count) {
+  const auto dg = graph::bfs(g, s);
+  const auto dh = graph::bfs(h, s);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || dg.dist[v] == kInfDist) continue;
+    ++rep.pairs_checked;
+    if (dh.dist[v] == kInfDist) {
+      rep.connectivity_ok = false;
+      rep.bound_ok = false;
+      continue;
+    }
+    const double ratio =
+        static_cast<double>(dh.dist[v]) / static_cast<double>(dg.dist[v]);
+    rep.max_multiplicative = std::max(rep.max_multiplicative, ratio);
+    mult_sum += ratio;
+    ++mult_count;
+    rep.max_additive = std::max<std::uint64_t>(
+        rep.max_additive, dh.dist[v] - std::min(dh.dist[v], dg.dist[v]));
+    const double excess =
+        static_cast<double>(dh.dist[v]) - m * static_cast<double>(dg.dist[v]);
+    if (excess > rep.max_excess) {
+      rep.max_excess = excess;
+      rep.worst_u = s;
+      rep.worst_v = v;
+      rep.worst_dg = dg.dist[v];
+      rep.worst_dh = dh.dist[v];
+    }
+    if (excess > a + 1e-9) rep.bound_ok = false;
+  }
+}
+
+}  // namespace
+
+StretchReport verify_stretch_exact(const Graph& g, const Graph& h, double m,
+                                   double a) {
+  if (g.num_vertices() != h.num_vertices()) {
+    throw std::invalid_argument("verify_stretch: vertex count mismatch");
+  }
+  StretchReport rep;
+  double mult_sum = 0.0;
+  std::uint64_t mult_count = 0;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    accumulate_source(g, h, s, m, a, rep, mult_sum, mult_count);
+  }
+  rep.mean_multiplicative = mult_count ? mult_sum / mult_count : 1.0;
+  return rep;
+}
+
+StretchReport verify_stretch_sampled(const Graph& g, const Graph& h, double m,
+                                     double a, std::uint32_t num_sources,
+                                     std::uint64_t seed) {
+  if (g.num_vertices() != h.num_vertices()) {
+    throw std::invalid_argument("verify_stretch: vertex count mismatch");
+  }
+  StretchReport rep;
+  double mult_sum = 0.0;
+  std::uint64_t mult_count = 0;
+  const Vertex n = g.num_vertices();
+  util::Xoshiro256 rng(seed);
+  std::vector<Vertex> sources;
+  if (num_sources >= n) {
+    for (Vertex v = 0; v < n; ++v) sources.push_back(v);
+  } else {
+    std::vector<std::uint8_t> picked(n, 0);
+    while (sources.size() < num_sources) {
+      const auto s = static_cast<Vertex>(rng.below(n));
+      if (!picked[s]) {
+        picked[s] = 1;
+        sources.push_back(s);
+      }
+    }
+    std::sort(sources.begin(), sources.end());
+  }
+  for (Vertex s : sources) {
+    accumulate_source(g, h, s, m, a, rep, mult_sum, mult_count);
+  }
+  rep.mean_multiplicative = mult_count ? mult_sum / mult_count : 1.0;
+  return rep;
+}
+
+}  // namespace nas::verify

@@ -1,0 +1,46 @@
+// Stretch verification: compares distances in the spanner H against the
+// input graph G and checks the (M, A) guarantee d_H ≤ M·d_G + A.
+//
+// `verify_stretch_exact` checks every pair (O(n·m) BFS work) and is the
+// test-suite oracle; `verify_stretch_sampled` BFS-es from a deterministic
+// sample of sources and is used at bench scale.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace nas::verify {
+
+struct StretchReport {
+  bool bound_ok = true;          ///< d_H ≤ M·d_G + A everywhere checked
+  bool connectivity_ok = true;   ///< d_H finite wherever d_G is finite
+  std::uint64_t pairs_checked = 0;
+
+  double max_multiplicative = 1.0;  ///< max d_H/d_G over checked pairs (d_G>0)
+  double mean_multiplicative = 1.0;
+  std::uint64_t max_additive = 0;   ///< max (d_H − d_G)
+  double max_excess = 0.0;          ///< max (d_H − M·d_G); ≤ A iff bound_ok
+
+  // Witness of the worst additive-excess pair.
+  graph::Vertex worst_u = graph::kInvalidVertex;
+  graph::Vertex worst_v = graph::kInvalidVertex;
+  std::uint32_t worst_dg = 0;
+  std::uint32_t worst_dh = 0;
+};
+
+/// Exhaustive check over all connected pairs.  Throws std::invalid_argument
+/// if the graphs have different vertex counts.
+[[nodiscard]] StretchReport verify_stretch_exact(const graph::Graph& g,
+                                                 const graph::Graph& h,
+                                                 double m, double a);
+
+/// Checks all pairs (s, v) for `num_sources` deterministically chosen
+/// sources s (seeded).
+[[nodiscard]] StretchReport verify_stretch_sampled(const graph::Graph& g,
+                                                   const graph::Graph& h,
+                                                   double m, double a,
+                                                   std::uint32_t num_sources,
+                                                   std::uint64_t seed);
+
+}  // namespace nas::verify

@@ -1,0 +1,193 @@
+// Tests for the asynchronous engine and synchronizer α: the synchronized
+// execution of a synchronous NodeProgram must be bit-identical to the exact
+// synchronous engine, under arbitrary (seeded) message delays.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "congest/async.hpp"
+#include "congest/engine.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using namespace nas::congest;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+TEST(AsyncEngine, DeliversWithDelayAndFifo) {
+  const Graph g = graph::path(2);
+  AsyncEngine engine(g, {.seed = 3, .max_delay = 5});
+  std::vector<std::uint64_t> seen;
+  engine.inject(0, 1, {.a = 1});
+  engine.inject(0, 1, {.a = 2});
+  engine.inject(0, 1, {.a = 3});
+  const auto t = engine.run([&](Vertex v, std::uint64_t, const Message& m,
+                                AsyncEngine::Port&) {
+    if (v == 1) seen.push_back(m.a);
+  });
+  // FIFO: order preserved regardless of drawn delays.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_GE(t, 3u);  // three FIFO deliveries need three distinct times
+  EXPECT_EQ(engine.messages_delivered(), 3u);
+}
+
+TEST(AsyncEngine, HandlerCanReply) {
+  const Graph g = graph::path(2);
+  AsyncEngine engine(g, {.seed = 1, .max_delay = 3});
+  int pongs = 0;
+  engine.inject(0, 1, {.a = 7});
+  engine.run([&](Vertex v, std::uint64_t, const Message& m,
+                 AsyncEngine::Port& port) {
+    if (v == 1 && m.a == 7) port.send(0, {.a = 8});
+    if (v == 0 && m.a == 8) ++pongs;
+  });
+  EXPECT_EQ(pongs, 1);
+}
+
+TEST(AsyncEngine, ValidatesInputs) {
+  const Graph g = graph::path(3);
+  EXPECT_THROW(AsyncEngine(g, {.seed = 1, .max_delay = 0}),
+               std::invalid_argument);
+  AsyncEngine engine(g, {});
+  EXPECT_THROW(engine.inject(0, 2, {}), std::invalid_argument);  // not adjacent
+}
+
+TEST(AsyncEngine, EventBudgetGuard) {
+  const Graph g = graph::path(2);
+  AsyncEngine engine(g, {});
+  engine.inject(0, 1, {.a = 1});
+  // Infinite ping-pong must hit the budget, not hang.
+  EXPECT_THROW(engine.run(
+                   [&](Vertex v, std::uint64_t, const Message&,
+                       AsyncEngine::Port& port) {
+                     port.send(v == 0 ? 1 : 0, {.a = 1});
+                   },
+                   1000),
+               std::runtime_error);
+}
+
+// --- synchronizer α ----------------------------------------------------------
+
+/// BFS as a synchronous node program writing into `dist`.
+Engine::NodeProgram bfs_program(const Graph& g, Vertex source,
+                                std::vector<std::uint32_t>& dist) {
+  dist.assign(g.num_vertices(), kInfDist);
+  dist[source] = 0;
+  return [&g, &dist](Vertex v, std::uint64_t round,
+                     std::span<const Message> inbox, Engine::Mailbox& mbox) {
+    for (const auto& m : inbox) {
+      if (dist[v] == kInfDist) dist[v] = static_cast<std::uint32_t>(m.b) + 1;
+    }
+    if (dist[v] == round) {
+      for (Vertex u : g.neighbors(v)) mbox.send(u, {.b = dist[v]});
+    }
+  };
+}
+
+class AlphaFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlphaFamilies, BfsMatchesSynchronousExecution) {
+  const Graph g = graph::make_workload(GetParam(), 120, 5);
+  const auto rounds = static_cast<std::uint64_t>(
+      graph::diameter_largest_component(g) + 2);
+
+  std::vector<std::uint32_t> sync_dist;
+  Engine engine(g);
+  engine.run_rounds(rounds, bfs_program(g, 0, sync_dist));
+
+  for (const std::uint64_t seed : {1ull, 99ull}) {
+    std::vector<std::uint32_t> async_dist;
+    const auto rep = run_alpha_synchronized(
+        g, rounds, bfs_program(g, 0, async_dist),
+        {.seed = seed, .max_delay = 7});
+    EXPECT_EQ(async_dist, sync_dist) << GetParam() << " seed " << seed;
+    EXPECT_GT(rep.virtual_time, 0u);
+    EXPECT_GT(rep.control_messages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AlphaFamilies,
+                         ::testing::Values("er", "grid", "tree", "cycle",
+                                           "dumbbell", "hypercube"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Alpha, ControlOverheadScalesWithEdges) {
+  // Per executed round, α exchanges SAFE on every edge-direction plus one
+  // ack per payload: control >= 2m * rounds once every node participates.
+  const Graph g = graph::make_workload("er", 150, 7);
+  std::vector<std::uint32_t> dist;
+  const auto rep =
+      run_alpha_synchronized(g, 5, bfs_program(g, 0, dist), {.seed = 2});
+  EXPECT_GE(rep.control_messages,
+            2 * g.num_edges() * 4u);  // SAFE both directions, most rounds
+  EXPECT_GT(rep.virtual_time, 5u);    // latency exceeds the round count
+}
+
+TEST(Alpha, SparseOverlayReducesControlTraffic) {
+  // The reason spanners exist ([Awe85]): synchronizing over a sparse
+  // subgraph costs proportionally fewer control messages per round.
+  const Graph dense = graph::make_workload("er_dense", 300, 9);
+  const Graph sparse = graph::make_workload("er", 300, 9);
+  std::vector<std::uint32_t> d1, d2;
+  const auto rep_dense =
+      run_alpha_synchronized(dense, 4, bfs_program(dense, 0, d1), {.seed = 3});
+  const auto rep_sparse =
+      run_alpha_synchronized(sparse, 4, bfs_program(sparse, 0, d2), {.seed = 3});
+  EXPECT_GT(rep_dense.control_messages, rep_sparse.control_messages);
+}
+
+TEST(Alpha, ZeroRoundsIsNoop) {
+  const Graph g = graph::path(4);
+  std::vector<std::uint32_t> dist;
+  const auto rep = run_alpha_synchronized(g, 0, bfs_program(g, 0, dist), {});
+  EXPECT_EQ(rep.virtual_time, 0u);
+  EXPECT_EQ(rep.payload_messages, 0u);
+}
+
+TEST(Alpha, RejectsProgramsUsingFieldC) {
+  const Graph g = graph::path(3);
+  EXPECT_THROW(
+      run_alpha_synchronized(
+          g, 2,
+          [&](Vertex v, std::uint64_t, std::span<const Message>,
+              Engine::Mailbox& mbox) {
+            if (v == 0) mbox.send(1, {.c = std::uint64_t{1} << 60});
+          },
+          {}),
+      std::invalid_argument);
+}
+
+TEST(Alpha, EnforcesCongestPerRound) {
+  const Graph g = graph::path(2);
+  EXPECT_THROW(run_alpha_synchronized(
+                   g, 1,
+                   [&](Vertex v, std::uint64_t, std::span<const Message>,
+                       Engine::Mailbox& mbox) {
+                     if (v == 0) {
+                       mbox.send(1, {.a = 1});
+                       mbox.send(1, {.a = 2});
+                     }
+                   },
+                   {}),
+               std::logic_error);
+}
+
+TEST(Alpha, DeterministicPerSeed) {
+  const Graph g = graph::make_workload("er", 100, 11);
+  std::vector<std::uint32_t> d1, d2;
+  const auto a =
+      run_alpha_synchronized(g, 4, bfs_program(g, 0, d1), {.seed = 5});
+  const auto b =
+      run_alpha_synchronized(g, 4, bfs_program(g, 0, d2), {.seed = 5});
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(d1, d2);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the baseline spanner constructions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "baselines/baswana_sen.hpp"
+#include "baselines/elkin_peleg.hpp"
+#include "baselines/en17.hpp"
+#include "baselines/greedy.hpp"
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+using core::Params;
+using graph::Graph;
+
+struct BaselineCase {
+  std::string family;
+  graph::Vertex n;
+  std::uint64_t seed;
+};
+
+class BaselineFamilies : public ::testing::TestWithParam<BaselineCase> {
+ protected:
+  static Graph make(const BaselineCase& tc) {
+    return graph::make_workload(tc.family, tc.n, tc.seed);
+  }
+};
+
+TEST_P(BaselineFamilies, BaswanaSenStretchWithinTwoKappaMinusOne) {
+  const Graph g = make(GetParam());
+  for (int kappa : {2, 3}) {
+    const auto res = baselines::build_baswana_sen_spanner(g, kappa, 99);
+    EXPECT_TRUE(verify::is_subgraph(g, res.spanner));
+    const auto rep =
+        verify::verify_stretch_exact(g, res.spanner, 2.0 * kappa - 1.0, 0.0);
+    EXPECT_TRUE(rep.bound_ok) << "kappa=" << kappa << " worst ("
+                              << rep.worst_u << "," << rep.worst_v << ") dG="
+                              << rep.worst_dg << " dH=" << rep.worst_dh;
+    EXPECT_TRUE(rep.connectivity_ok);
+  }
+}
+
+TEST_P(BaselineFamilies, GreedyStretchAndSubgraph) {
+  const Graph g = make(GetParam());
+  for (int kappa : {2, 3}) {
+    const auto res = baselines::build_greedy_spanner(g, kappa);
+    EXPECT_TRUE(verify::is_subgraph(g, res.spanner));
+    const auto rep =
+        verify::verify_stretch_exact(g, res.spanner, 2.0 * kappa - 1.0, 0.0);
+    EXPECT_TRUE(rep.bound_ok) << "kappa=" << kappa;
+  }
+}
+
+TEST_P(BaselineFamilies, En17StretchBoundHolds) {
+  const Graph g = make(GetParam());
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto res = baselines::build_en17_spanner(g, params, 7);
+  EXPECT_TRUE(verify::is_subgraph(g, res.spanner));
+  const auto rep = verify::verify_stretch_exact(
+      g, res.spanner, res.stretch_multiplicative, res.stretch_additive);
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_TRUE(rep.connectivity_ok);
+}
+
+TEST_P(BaselineFamilies, ElkinPelegStretchBoundHolds) {
+  const Graph g = make(GetParam());
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto res = baselines::build_elkin_peleg_spanner(g, params);
+  EXPECT_TRUE(verify::is_subgraph(g, res.spanner));
+  const auto rep = verify::verify_stretch_exact(
+      g, res.spanner, res.stretch_multiplicative, res.stretch_additive);
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_TRUE(rep.connectivity_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineFamilies,
+    ::testing::Values(BaselineCase{"er", 200, 1}, BaselineCase{"grid", 169, 2},
+                      BaselineCase{"ba", 200, 3},
+                      BaselineCase{"hypercube", 128, 4},
+                      BaselineCase{"caveman", 180, 5},
+                      BaselineCase{"dumbbell", 120, 6},
+                      BaselineCase{"cycle", 90, 7},
+                      BaselineCase{"er_dense", 180, 8}),
+    [](const auto& info) {
+      return info.param.family + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(BaswanaSen, DeterministicPerSeed) {
+  const Graph g = graph::make_workload("er", 250, 9);
+  const auto a = baselines::build_baswana_sen_spanner(g, 3, 42);
+  const auto b = baselines::build_baswana_sen_spanner(g, 3, 42);
+  const auto c = baselines::build_baswana_sen_spanner(g, 3, 43);
+  EXPECT_EQ(a.spanner.edges(), b.spanner.edges());
+  // A different seed almost surely samples differently.
+  EXPECT_NE(c.spanner.edges(), a.spanner.edges());
+}
+
+TEST(BaswanaSen, KappaOneKeepsEverything) {
+  const Graph g = graph::make_workload("er", 100, 11);
+  const auto res = baselines::build_baswana_sen_spanner(g, 1, 1);
+  // kappa = 1: stretch 1 requires every edge.
+  EXPECT_EQ(res.spanner.num_edges(), g.num_edges());
+  EXPECT_THROW(baselines::build_baswana_sen_spanner(g, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(BaswanaSen, CompressesDenseGraphs) {
+  const Graph g = graph::make_workload("er_dense", 400, 13);
+  const auto res = baselines::build_baswana_sen_spanner(g, 3, 17);
+  EXPECT_LT(res.spanner.num_edges(), g.num_edges());
+}
+
+TEST(Greedy, SizeRespectsGirthBound) {
+  // The greedy (2κ-1)-spanner has girth > 2κ, hence O(n^{1+1/κ}) edges;
+  // check the concrete Moore-type bound m <= n^{1+1/κ} + n.
+  for (const char* family : {"er_dense", "complete"}) {
+    const Graph g = graph::make_workload(family, 150, 15);
+    for (int kappa : {2, 3}) {
+      const auto res = baselines::build_greedy_spanner(g, kappa);
+      const double bound =
+          std::pow(g.num_vertices(), 1.0 + 1.0 / kappa) + g.num_vertices();
+      EXPECT_LE(static_cast<double>(res.spanner.num_edges()), bound)
+          << family << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(Greedy, KeepsTreeEntirely) {
+  const Graph g = graph::binary_tree(63);
+  const auto res = baselines::build_greedy_spanner(g, 3);
+  EXPECT_EQ(res.spanner.num_edges(), g.num_edges());
+}
+
+TEST(En17, UsuallySmallerAdditiveTermThanDeterministic) {
+  // The EN17 schedule's radii grow like R+δ vs the deterministic R+2δc:
+  // its proven additive term must be no larger.
+  const auto params = Params::practical(1000, 0.25, 3, 0.4);
+  const Graph g = graph::make_workload("er", 300, 17);
+  const auto en = baselines::build_en17_spanner(g, params, 5);
+  EXPECT_LE(en.stretch_additive, params.stretch_additive());
+}
+
+TEST(ElkinPeleg, AdditiveTermNoWorseThanDeterministic) {
+  // EP's radii grow like R+2δ vs the deterministic R+2δc, so its proven
+  // additive term can only be sharper.  (Both baselines may also truncate
+  // the recursion when the cluster hierarchy empties early, which only
+  // sharpens the reported pair further — the guarantees stay valid because
+  // later phases would have been no-ops.)
+  const auto params = Params::practical(1000, 0.25, 3, 0.4);
+  const Graph g = graph::make_workload("er", 300, 19);
+  const auto ep = baselines::build_elkin_peleg_spanner(g, params);
+  EXPECT_LE(ep.stretch_additive, params.stretch_additive());
+  // Centralized baseline reports no CONGEST rounds.
+  EXPECT_EQ(ep.ledger.rounds(), 0u);
+}
+
+TEST(ElkinPeleg, DeterministicAcrossRuns) {
+  const Graph g = graph::make_workload("er", 200, 21);
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto a = baselines::build_elkin_peleg_spanner(g, params);
+  const auto b = baselines::build_elkin_peleg_spanner(g, params);
+  EXPECT_EQ(a.spanner.edges(), b.spanner.edges());
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for the cluster bookkeeping (core/cluster.hpp).
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace {
+
+using nas::core::ClusterState;
+using nas::graph::kInvalidVertex;
+using nas::graph::Vertex;
+
+TEST(ClusterState, StartsAsSingletons) {
+  ClusterState cs(4);
+  for (Vertex v = 0; v < 4; ++v) {
+    EXPECT_EQ(cs.center(v), v);
+    EXPECT_TRUE(cs.is_center(v));
+    EXPECT_TRUE(cs.is_active(v));
+    EXPECT_EQ(cs.settled_phase(v), -1);
+  }
+  EXPECT_EQ(cs.centers().size(), 4u);
+  EXPECT_EQ(cs.active_count(), 4u);
+}
+
+TEST(ClusterState, MergeMovesMembers) {
+  ClusterState cs(5);
+  cs.merge_cluster_into(1, 0);
+  cs.merge_cluster_into(2, 0);
+  EXPECT_EQ(cs.center(1), 0u);
+  EXPECT_EQ(cs.center(2), 0u);
+  EXPECT_FALSE(cs.is_center(1));
+  EXPECT_EQ(cs.members(0).size(), 3u);
+  EXPECT_EQ(cs.centers().size(), 3u);  // 0, 3, 4
+}
+
+TEST(ClusterState, MergeOfMergedClusterKeepsTransitiveMembers) {
+  ClusterState cs(4);
+  cs.merge_cluster_into(1, 0);  // {0,1}
+  cs.merge_cluster_into(0, 2);  // {0,1,2}
+  EXPECT_EQ(cs.center(0), 2u);
+  EXPECT_EQ(cs.center(1), 2u);
+  EXPECT_EQ(cs.members(2).size(), 3u);
+}
+
+TEST(ClusterState, MergeSelfIsNoop) {
+  ClusterState cs(3);
+  cs.merge_cluster_into(1, 1);
+  EXPECT_TRUE(cs.is_center(1));
+}
+
+TEST(ClusterState, MergeNonCenterThrows) {
+  ClusterState cs(3);
+  cs.merge_cluster_into(1, 0);
+  EXPECT_THROW(cs.merge_cluster_into(1, 2), std::logic_error);
+  EXPECT_THROW(cs.merge_cluster_into(2, 1), std::logic_error);
+  EXPECT_THROW(cs.merge_cluster_into(5, 0), std::invalid_argument);
+}
+
+TEST(ClusterState, SettleRemovesWholeCluster) {
+  ClusterState cs(4);
+  cs.merge_cluster_into(1, 0);
+  cs.settle_cluster(0, 2);
+  EXPECT_FALSE(cs.is_active(0));
+  EXPECT_FALSE(cs.is_active(1));
+  EXPECT_EQ(cs.settled_phase(0), 2);
+  EXPECT_EQ(cs.settled_phase(1), 2);
+  EXPECT_EQ(cs.settled_center(1), 0u);
+  EXPECT_EQ(cs.active_count(), 2u);
+  EXPECT_EQ(cs.centers().size(), 2u);
+}
+
+TEST(ClusterState, SettleNonCenterThrows) {
+  ClusterState cs(3);
+  cs.settle_cluster(1, 0);
+  EXPECT_THROW(cs.settle_cluster(1, 0), std::logic_error);
+  EXPECT_THROW(cs.settle_cluster(9, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Tests for the CONGEST simulator: the exact round engine, its bandwidth
+// enforcement, and the standard protocols.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "congest/engine.hpp"
+#include "congest/ledger.hpp"
+#include "congest/protocols.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using namespace nas::congest;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Ledger, SectionsAccumulate) {
+  Ledger ledger;
+  ledger.begin_section("a");
+  ledger.charge_rounds(10);
+  ledger.charge_messages(5);
+  ledger.begin_section("b");
+  ledger.charge_rounds(1);
+  EXPECT_EQ(ledger.rounds(), 11u);
+  EXPECT_EQ(ledger.messages(), 5u);
+  ASSERT_EQ(ledger.sections().size(), 2u);
+  EXPECT_EQ(ledger.sections()[0].rounds, 10u);
+  EXPECT_EQ(ledger.sections()[1].rounds, 1u);
+}
+
+TEST(Ledger, WindowCapacityCheck) {
+  Ledger ledger;
+  EXPECT_NO_THROW(ledger.check_window_capacity(5, 5, "ok"));
+  EXPECT_THROW(ledger.check_window_capacity(6, 5, "bad"), std::logic_error);
+}
+
+TEST(Engine, DeliversNextRound) {
+  const Graph g = graph::path(3);
+  Engine engine(g);
+  std::vector<int> received(3, 0);
+  engine.run_rounds(3, [&](Vertex v, std::uint64_t round,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    for (const auto& m : inbox) received[v] += static_cast<int>(m.a);
+    if (round == 0 && v == 0) mbox.send(1, {.a = 7});
+  });
+  EXPECT_EQ(received[1], 7);
+  EXPECT_EQ(received[0], 0);
+  EXPECT_EQ(received[2], 0);
+}
+
+TEST(Engine, EnforcesOneMessagePerEdgePerRound) {
+  const Graph g = graph::path(2);
+  Engine engine(g);
+  EXPECT_THROW(
+      engine.run_rounds(1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+                               Engine::Mailbox& mbox) {
+        if (v == 0) {
+          mbox.send(1, {.a = 1});
+          mbox.send(1, {.a = 2});  // second message on the same edge: illegal
+        }
+      }),
+      std::logic_error);
+}
+
+TEST(Engine, BothDirectionsAllowedInOneRound) {
+  const Graph g = graph::path(2);
+  Engine engine(g);
+  EXPECT_NO_THROW(engine.run_rounds(
+      1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+             Engine::Mailbox& mbox) { mbox.send(v == 0 ? 1 : 0, {.a = 1}); }));
+  EXPECT_EQ(engine.messages_sent(), 2u);
+}
+
+TEST(Engine, SendToNonNeighborThrows) {
+  const Graph g = graph::path(3);  // 0-1-2; 0 and 2 not adjacent
+  Engine engine(g);
+  EXPECT_THROW(
+      engine.run_rounds(1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+                               Engine::Mailbox& mbox) {
+        if (v == 0) mbox.send(2, {.a = 1});
+      }),
+      std::invalid_argument);
+}
+
+TEST(Engine, InboxSortedBySender) {
+  const Graph g = graph::star(5);  // center 0
+  Engine engine(g);
+  std::vector<Vertex> order;
+  engine.run_rounds(2, [&](Vertex v, std::uint64_t round,
+                           std::span<const Message> inbox,
+                           Engine::Mailbox& mbox) {
+    if (round == 0 && v != 0) mbox.send(0, {.a = v});
+    if (v == 0) {
+      for (const auto& m : inbox) order.push_back(m.src);
+    }
+  });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Engine, QuiescenceStopsEarly) {
+  const Graph g = graph::path(4);
+  Engine engine(g);
+  const auto rounds = engine.run_until_quiescent(
+      [&](Vertex v, std::uint64_t round, std::span<const Message>,
+          Engine::Mailbox& mbox) {
+        if (round == 0 && v == 0) mbox.send(1, {.a = 1});
+      },
+      [] { return true; }, 100);
+  EXPECT_LT(rounds, 100u);
+}
+
+// --- protocols --------------------------------------------------------------
+
+class CongestBfsFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CongestBfsFamilies, MatchesCentralizedDistances) {
+  const Graph g = graph::make_workload(GetParam(), 150, 11);
+  const auto oracle = graph::bfs(g, 0);
+  Ledger ledger;
+  const auto res = congest_bfs(g, {0}, g.num_vertices(), &ledger);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(res.tree.dist[v], oracle.dist[v]) << "vertex " << v;
+  }
+  EXPECT_GT(ledger.rounds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CongestBfsFamilies,
+                         ::testing::Values("er", "grid", "hypercube", "tree",
+                                           "dumbbell", "cycle"),
+                         [](const auto& info) { return info.param; });
+
+TEST(CongestBfs, DepthBounded) {
+  const Graph g = graph::path(10);
+  const auto res = congest_bfs(g, {0}, 4);
+  EXPECT_EQ(res.tree.dist[4], 4u);
+  EXPECT_EQ(res.tree.dist[5], graph::kInfDist);
+  EXPECT_EQ(res.rounds, 5u);
+}
+
+TEST(CongestBfs, MultiSourceRoots) {
+  const Graph g = graph::path(9);
+  const auto res = congest_bfs(g, {0, 8}, 10);
+  const auto oracle = graph::multi_source_bfs(g, {0, 8});
+  for (Vertex v = 0; v < 9; ++v) EXPECT_EQ(res.tree.dist[v], oracle.dist[v]);
+  EXPECT_EQ(res.tree.root[1], 0u);
+  EXPECT_EQ(res.tree.root[7], 8u);
+}
+
+TEST(CongestBfs, ParentsFormValidTree) {
+  const Graph g = graph::make_workload("er", 200, 13);
+  const auto res = congest_bfs(g, {0}, g.num_vertices());
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    if (res.tree.dist[v] == graph::kInfDist) continue;
+    const Vertex p = res.tree.parent[v];
+    ASSERT_NE(p, graph::kInvalidVertex);
+    EXPECT_TRUE(g.has_edge(v, p));
+    EXPECT_EQ(res.tree.dist[v], res.tree.dist[p] + 1);
+  }
+}
+
+TEST(Broadcast, EveryoneLearnsValue) {
+  const Graph g = graph::make_workload("grid", 100, 1);
+  const auto res = broadcast(g, 0, 99);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(res.value[v], 99u);
+}
+
+TEST(Broadcast, RoundsNearDiameter) {
+  const Graph g = graph::path(20);
+  const auto res = broadcast(g, 0, 1);
+  EXPECT_GE(res.rounds, 19u);
+  EXPECT_LE(res.rounds, 22u);
+}
+
+TEST(LeaderElection, FindsMinIdPerComponent) {
+  const Graph g = graph::Graph::from_edges(6, {{5, 3}, {3, 4}, {1, 2}});
+  const auto res = elect_min_id_leader(g);
+  EXPECT_EQ(res.leader[5], 3u);
+  EXPECT_EQ(res.leader[4], 3u);
+  EXPECT_EQ(res.leader[2], 1u);
+  EXPECT_EQ(res.leader[0], 0u);
+}
+
+TEST(Convergecast, SumsUpTree) {
+  const Graph g = graph::binary_tree(7);
+  const auto tree = graph::bfs(g, 0);
+  std::vector<std::uint64_t> values(7, 1);
+  const auto total = convergecast_sum(g, tree.parent, 0, values);
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(Convergecast, SizeMismatchThrows) {
+  const Graph g = graph::path(3);
+  EXPECT_THROW((void)convergecast_sum(g, {0}, 0, {1, 1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace

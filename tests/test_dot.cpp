@@ -1,0 +1,63 @@
+// Tests for the Graphviz export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas::graph;
+
+TEST(Dot, BasicStructure) {
+  const Graph g = path(3);
+  DotStyle style;
+  style.name = "t";
+  std::ostringstream oss;
+  write_dot(g, style, oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("graph \"t\""), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(s.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Dot, GroupsColorVertices) {
+  const Graph g = path(4);
+  DotStyle style;
+  style.group = {0, 0, 1, kInvalidVertex};
+  std::ostringstream oss;
+  write_dot(g, style, oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("#eeeeee"), std::string::npos);  // ungrouped vertex
+}
+
+TEST(Dot, HighlightedEdgesSplitStyles) {
+  const Graph g = cycle(4);
+  DotStyle style;
+  style.highlighted_edges = {{0, 1}};
+  std::ostringstream oss;
+  write_dot(g, style, oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("penwidth=2"), std::string::npos);
+  EXPECT_NE(s.find("style=dotted"), std::string::npos);
+}
+
+TEST(Dot, EmphasizedVerticesDoubleCircled) {
+  const Graph g = star(4);
+  DotStyle style;
+  style.emphasized = {0};
+  std::ostringstream oss;
+  write_dot(g, style, oss);
+  EXPECT_NE(oss.str().find("doublecircle"), std::string::npos);
+}
+
+TEST(Dot, GroupSizeMismatchThrows) {
+  const Graph g = path(3);
+  DotStyle style;
+  style.group = {0};
+  std::ostringstream oss;
+  EXPECT_THROW(write_dot(g, style, oss), std::invalid_argument);
+}
+
+}  // namespace

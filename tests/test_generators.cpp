@@ -1,0 +1,161 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas::graph;
+
+TEST(Generators, PathShape) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);  // root has children 1, 2
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3 rows x 3 horizontal edges + 2 x 4 vertical edges
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(torus(2, 5), std::invalid_argument);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * dim / 2
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, DumbbellShape) {
+  const Graph g = dumbbell(4, 3);
+  EXPECT_EQ(g.num_vertices(), 11u);
+  EXPECT_TRUE(is_connected(g));
+  // Two K4's (6 edges each) + bar path of 4 edges.
+  EXPECT_EQ(g.num_edges(), 6u + 6 + 4);
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const Graph a = erdos_renyi(300, 0.02, 5);
+  const Graph b = erdos_renyi(300, 0.02, 5);
+  const Graph c = erdos_renyi(300, 0.02, 6);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, ErdosRenyiDensityRoughlyRight) {
+  const Graph g = erdos_renyi(500, 0.02, 11);
+  const double expected = 0.02 * 500 * 499 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_EQ(erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(10, 1.0, 1).num_edges(), 45u);
+  EXPECT_THROW(erdos_renyi(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const Graph g = gnm(100, 250, 3);
+  EXPECT_EQ(g.num_edges(), 250u);
+  // Request more edges than possible: capped at the complete graph.
+  const Graph full = gnm(6, 1000, 3);
+  EXPECT_EQ(full.num_edges(), 15u);
+}
+
+TEST(Generators, GeometricDeterministicAndPlanarish) {
+  const Graph a = random_geometric(200, 0.12, 9);
+  const Graph b = random_geometric(200, 0.12, 9);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_GT(a.num_edges(), 0u);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const Graph g = barabasi_albert(200, 3, 17);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Every vertex beyond the seed clique has degree >= attach.
+  for (Vertex v = 3; v < 200; ++v) EXPECT_GE(g.degree(v), 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(barabasi_albert(3, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, CavemanConnected) {
+  const Graph g = caveman(8, 6, 4, 23);
+  EXPECT_EQ(g.num_vertices(), 48u);
+  EXPECT_TRUE(is_connected(g));
+  // Intra-cave cliques present.
+  EXPECT_TRUE(g.has_edge(0, 5));
+}
+
+TEST(Generators, RegularishDeterministic) {
+  const Graph a = random_regularish(150, 3, 2);
+  const Graph b = random_regularish(150, 3, 2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+class WorkloadFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadFamilies, ProducesConnectedGraphNearRequestedSize) {
+  const auto family = GetParam();
+  const Graph g = make_workload(family, 300, 7);
+  EXPECT_GT(g.num_vertices(), 100u) << family;
+  EXPECT_TRUE(is_connected(g)) << family;
+}
+
+TEST_P(WorkloadFamilies, DeterministicPerSeed) {
+  const auto family = GetParam();
+  const Graph a = make_workload(family, 200, 3);
+  const Graph b = make_workload(family, 200, 3);
+  EXPECT_EQ(a.edges(), b.edges()) << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, WorkloadFamilies,
+    ::testing::Values("er", "er_dense", "gnm", "regular", "grid", "torus",
+                      "hypercube", "geometric", "ba", "caveman", "path",
+                      "cycle", "star", "tree", "dumbbell"),
+    [](const auto& info) { return info.param; });
+
+TEST(Workload, UnknownFamilyThrows) {
+  EXPECT_THROW(make_workload("nope", 100, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests for the graph core (graph.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace nas::graph;
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, FromEdgesBasic) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, ParallelEdgesDeduplicated) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeEndpointRejected) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, EdgesReturnsCanonicalSorted) {
+  const Graph g = Graph::from_edges(4, {{3, 1}, {2, 0}});
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (Edge{0, 2}));
+  EXPECT_EQ(es[1], (Edge{1, 3}));
+}
+
+TEST(Graph, MaxAndAverageDegree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_EQ(g.summary(), "Graph(n=2, m=1)");
+}
+
+TEST(EdgeKey, CanonicalAndSymmetric) {
+  EXPECT_EQ(edge_key(3, 7), edge_key(7, 3));
+  EXPECT_NE(edge_key(3, 7), edge_key(3, 8));
+  EXPECT_EQ(canonical(9, 2), (Edge{2, 9}));
+}
+
+TEST(EdgeSet, InsertIsIdempotent) {
+  EdgeSet h(5);
+  EXPECT_TRUE(h.insert(1, 2));
+  EXPECT_FALSE(h.insert(2, 1));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.contains(1, 2));
+  EXPECT_TRUE(h.contains(2, 1));
+  EXPECT_FALSE(h.contains(1, 3));
+}
+
+TEST(EdgeSet, RejectsBadEdges) {
+  EdgeSet h(3);
+  EXPECT_THROW(h.insert(0, 0), std::invalid_argument);
+  EXPECT_THROW(h.insert(0, 5), std::invalid_argument);
+}
+
+TEST(EdgeSet, ToGraphRoundtrip) {
+  EdgeSet h(4);
+  h.insert(0, 1);
+  h.insert(2, 3);
+  const Graph g = h.to_graph();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Tests for the interconnection step (core/interconnect.hpp).
+#include <gtest/gtest.h>
+
+#include "core/interconnect.hpp"
+#include "core/popular.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using graph::EdgeSet;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Interconnect, InstallsShortestPaths) {
+  const Graph g = graph::path(7);
+  std::vector<Vertex> sources{0, 3, 6};
+  const auto alg1 = core::run_algorithm1(g, sources, 3, 10);
+  EdgeSet h(7);
+  const auto res = core::interconnect(g, {3}, alg1, 3, 10, h);
+  // Center 3 knows 0 and 6 at distance 3 each; both paths installed.
+  EXPECT_EQ(res.paths_installed, 2u);
+  EXPECT_EQ(res.edges_added, 6u);
+  EXPECT_EQ(res.max_path_length, 3u);
+  const Graph hg = h.to_graph();
+  EXPECT_EQ(graph::bfs(hg, 3).dist[0], 3u);
+  EXPECT_EQ(graph::bfs(hg, 3).dist[6], 3u);
+}
+
+TEST(Interconnect, PathLengthsEqualGraphDistances) {
+  const Graph g = graph::make_workload("grid", 100, 3);
+  std::vector<Vertex> sources;
+  for (Vertex v = 0; v < g.num_vertices(); v += 7) sources.push_back(v);
+  const std::uint64_t delta = 5, cap = 100;
+  const auto alg1 = core::run_algorithm1(g, sources, delta, cap);
+  EdgeSet h(g.num_vertices());
+  (void)core::interconnect(g, sources, alg1, delta, cap, h);
+  const Graph hg = h.to_graph();
+  // For every center pair within delta, the spanner realizes the exact
+  // distance (Lemma 2.14 with complete knowledge).
+  for (Vertex s : sources) {
+    const auto dg = graph::bfs(g, s);
+    const auto dh = graph::bfs(hg, s);
+    for (Vertex t : sources) {
+      if (t == s || dg.dist[t] > delta) continue;
+      EXPECT_EQ(dh.dist[t], dg.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(Interconnect, DedupSharedSubpaths) {
+  const Graph g = graph::star(6);
+  std::vector<Vertex> sources{1, 2, 3, 4, 5};
+  const auto alg1 = core::run_algorithm1(g, sources, 2, 10);
+  EdgeSet h(6);
+  const auto res = core::interconnect(g, sources, alg1, 2, 10, h);
+  // All 5*4 = 20 ordered pairs trace through the hub, but only 5 distinct
+  // edges exist.
+  EXPECT_EQ(res.paths_installed, 20u);
+  EXPECT_EQ(h.size(), 5u);
+}
+
+TEST(Interconnect, EmptyCentersChargeScheduleOnly) {
+  const Graph g = graph::path(5);
+  const auto alg1 = core::run_algorithm1(g, {0}, 2, 3);
+  EdgeSet h(5);
+  congest::Ledger ledger;
+  ledger.begin_section("t");
+  const auto res = core::interconnect(g, {}, alg1, 2, 3, h, &ledger);
+  EXPECT_EQ(res.edges_added, 0u);
+  EXPECT_EQ(res.rounds_charged, 6u);
+  EXPECT_EQ(ledger.rounds(), 6u);
+}
+
+TEST(Interconnect, OutOfRangeCenterThrows) {
+  const Graph g = graph::path(5);
+  const auto alg1 = core::run_algorithm1(g, {0}, 2, 3);
+  EdgeSet h(5);
+  EXPECT_THROW((void)core::interconnect(g, {9}, alg1, 2, 3, h),
+               std::invalid_argument);
+}
+
+TEST(Interconnect, Phase0AddsIncidentEdges) {
+  // With delta = 1 and all vertices as centers, interconnecting the
+  // unpopular vertices adds exactly their incident edges (paper Lemma 2.12,
+  // phase-0 case).
+  const Graph g = graph::make_workload("er", 100, 5);
+  std::vector<Vertex> all;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  const std::uint64_t cap = 1000;
+  const auto alg1 = core::run_algorithm1(g, all, 1, cap);
+  EdgeSet h(g.num_vertices());
+  (void)core::interconnect(g, all, alg1, 1, cap, h);
+  EXPECT_EQ(h.size(), g.num_edges());
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Model-based randomized tests: library containers checked against naive
+// reference models under long deterministic operation sequences.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "baselines/en17.hpp"
+#include "core/params.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nas;
+using graph::EdgeSet;
+using graph::Graph;
+using graph::Vertex;
+
+class EdgeSetModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdgeSetModel, MatchesReferenceSetUnderRandomOps) {
+  const Vertex n = 40;
+  EdgeSet sut(n);
+  std::set<std::pair<Vertex, Vertex>> model;
+  util::Xoshiro256 rng(GetParam());
+
+  for (int op = 0; op < 5000; ++op) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    const auto canon = graph::canonical(u, v);
+    if (rng.bernoulli(0.7)) {
+      const bool inserted_model = model.insert(canon).second;
+      const bool inserted_sut = sut.insert(u, v);
+      ASSERT_EQ(inserted_sut, inserted_model) << "op " << op;
+    } else {
+      ASSERT_EQ(sut.contains(u, v), model.count(canon) == 1) << "op " << op;
+    }
+    ASSERT_EQ(sut.size(), model.size());
+  }
+
+  // Final structural agreement.
+  const Graph g = sut.to_graph();
+  ASSERT_EQ(g.num_edges(), model.size());
+  for (const auto& [u, v] : model) {
+    ASSERT_TRUE(g.has_edge(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeSetModel,
+                         ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+class GraphQueryModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphQueryModel, HasEdgeAgreesWithAdjacencyScan) {
+  const Graph g = graph::make_workload("er", 200, GetParam());
+  util::Xoshiro256 rng(GetParam() * 7 + 1);
+  for (int q = 0; q < 2000; ++q) {
+    const auto u = static_cast<Vertex>(rng.below(g.num_vertices()));
+    const auto v = static_cast<Vertex>(rng.below(g.num_vertices()));
+    bool found = false;
+    for (Vertex w : g.neighbors(u)) {
+      if (w == v) found = true;
+    }
+    ASSERT_EQ(g.has_edge(u, v), found);
+    ASSERT_EQ(g.has_edge(u, v), g.has_edge(v, u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphQueryModel, ::testing::Values(11, 12, 13),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(En17Determinism, SameSeedSameSpanner) {
+  const Graph g = graph::make_workload("er", 250, 21);
+  const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto a = baselines::build_en17_spanner(g, params, 77);
+  const auto b = baselines::build_en17_spanner(g, params, 77);
+  EXPECT_EQ(a.spanner.edges(), b.spanner.edges());
+  EXPECT_EQ(a.ledger.rounds(), b.ledger.rounds());
+}
+
+TEST(En17Determinism, DifferentSeedsUsuallyDiffer) {
+  const Graph g = graph::make_workload("er", 250, 23);
+  const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto a = baselines::build_en17_spanner(g, params, 1);
+  const auto b = baselines::build_en17_spanner(g, params, 2);
+  EXPECT_NE(a.spanner.edges(), b.spanner.edges());
+}
+
+}  // namespace

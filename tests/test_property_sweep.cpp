@@ -1,0 +1,71 @@
+// Broad property sweep: the end-to-end guarantees across (family, seed)
+// pairs beyond the targeted cases in test_elkin_matar.cpp.  Each instance
+// checks the full contract: subgraph, stretch bound, connectivity
+// preservation, partition, and per-phase counting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+using core::Params;
+using graph::Graph;
+
+using SweepCase = std::tuple<std::string, std::uint64_t>;
+
+class EndToEndSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EndToEndSweep, FullContract) {
+  const auto& [family, seed] = GetParam();
+  const Graph g = graph::make_workload(family, 180, seed);
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto result = core::build_spanner(g, params, {.validate = true});
+
+  ASSERT_TRUE(verify::is_subgraph(g, result.spanner));
+  const auto rep = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  ASSERT_TRUE(rep.bound_ok) << family << " seed " << seed << " worst ("
+                            << rep.worst_u << "," << rep.worst_v << ")";
+  ASSERT_TRUE(rep.connectivity_ok);
+
+  // Cluster counting: |P_{i+1}| * deg_i <= |P_i| whenever rulers exist.
+  for (std::size_t i = 1; i < result.trace.phases.size(); ++i) {
+    const auto& prev = result.trace.phases[i - 1];
+    if (prev.num_rulers > 0) {
+      ASSERT_LE(result.trace.phases[i].num_clusters * prev.deg,
+                prev.num_clusters);
+    }
+  }
+  // Partition (Corollary 2.5).
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(result.clusters.settled_phase(v), 0);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const char* family : {"er", "er_dense", "gnm", "regular", "geometric",
+                             "ba", "caveman", "grid", "torus", "dumbbell"}) {
+    for (std::uint64_t seed : {101, 202, 303}) {
+      cases.emplace_back(family, seed);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesBySeeds, EndToEndSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           return std::get<0>(info.param) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace

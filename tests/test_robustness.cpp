@@ -1,0 +1,159 @@
+// Robustness properties the paper claims beyond the headline theorem:
+// Section 1.3.1's "vertices only need an estimate ñ of n, n ≤ ñ ≤ poly(n)",
+// plus stress shapes (adversarial workloads) for the full pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+using core::Params;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(NEstimate, RejectsUnderestimates) {
+  EXPECT_THROW(Params::practical(100, 0.5, 3, 0.4, 50), std::invalid_argument);
+  EXPECT_NO_THROW(Params::practical(100, 0.5, 3, 0.4, 100));
+  EXPECT_NO_THROW(Params::practical(100, 0.5, 3, 0.4, 10000));
+}
+
+TEST(NEstimate, DefaultsToN) {
+  const auto p = Params::practical(200, 0.5, 3, 0.4);
+  EXPECT_EQ(p.n_estimate(), 200u);
+}
+
+TEST(NEstimate, OverestimateRaisesThresholds) {
+  const auto exact = Params::practical(256, 0.5, 3, 0.4, 256);
+  const auto loose = Params::practical(256, 0.5, 3, 0.4, 256u * 256u);
+  // deg_i = ⌈ñ^{2^i/κ}⌉ grows with ñ; the ruling base b too.
+  for (std::size_t i = 0; i < exact.phases().size(); ++i) {
+    EXPECT_GE(loose.phase(static_cast<int>(i)).deg, exact.phase(static_cast<int>(i)).deg);
+  }
+  EXPECT_GE(loose.ruling_base(), exact.ruling_base());
+  // The distance schedule (δ_i, R_i) depends only on ε and ρ, not ñ.
+  for (std::size_t i = 0; i < exact.phases().size(); ++i) {
+    EXPECT_EQ(loose.phase(static_cast<int>(i)).delta,
+              exact.phase(static_cast<int>(i)).delta);
+    EXPECT_EQ(loose.phase(static_cast<int>(i)).radius,
+              exact.phase(static_cast<int>(i)).radius);
+  }
+  // Hence the stretch pair is identical.
+  EXPECT_DOUBLE_EQ(loose.stretch_additive(), exact.stretch_additive());
+  EXPECT_DOUBLE_EQ(loose.stretch_multiplicative(),
+                   exact.stretch_multiplicative());
+}
+
+class NEstimateEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NEstimateEndToEnd, GuaranteesSurvivePolyOverestimate) {
+  const Graph g = graph::make_workload("er", 250, 3);
+  const std::uint64_t factor = GetParam();
+  const std::uint64_t estimate =
+      static_cast<std::uint64_t>(g.num_vertices()) * factor;
+  const auto params =
+      Params::practical(g.num_vertices(), 0.5, 3, 0.4, estimate);
+  const auto result = core::build_spanner(g, params, {.validate = true});
+  EXPECT_TRUE(verify::is_subgraph(g, result.spanner));
+  const auto rep = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_TRUE(rep.connectivity_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, NEstimateEndToEnd,
+                         ::testing::Values(1, 2, 16, 250, 62500),
+                         [](const auto& info) {
+                           return "x" + std::to_string(info.param);
+                         });
+
+TEST(NEstimate, HigherEstimateNeverDensifiesMuch) {
+  // With a poly(n) overestimate the popularity thresholds rise, so *fewer*
+  // clusters supercluster and more interconnect — the spanner stays within
+  // the (now ñ-based) size bound.
+  const Graph g = graph::make_workload("er_dense", 300, 5);
+  const auto exact = core::build_spanner(
+      g, Params::practical(g.num_vertices(), 0.5, 3, 0.4));
+  const auto loose = core::build_spanner(
+      g, Params::practical(g.num_vertices(), 0.5, 3, 0.4,
+                           static_cast<std::uint64_t>(g.num_vertices()) *
+                               g.num_vertices()));
+  const double nk = std::pow(static_cast<double>(g.num_vertices()) *
+                                 g.num_vertices(),
+                             1.0 + 1.0 / 3.0);
+  EXPECT_LE(static_cast<double>(loose.spanner.num_edges()),
+            exact.params.beta_paper() * nk);
+}
+
+// --- adversarial stress shapes ----------------------------------------------
+
+TEST(Stress, LongPathWithDenseBlobsAtBothEnds) {
+  const Graph g = graph::dumbbell(60, 200);
+  const auto params = Params::practical(g.num_vertices(), 0.25, 3, 0.4);
+  const auto result = core::build_spanner(g, params, {.validate = true});
+  const auto rep = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  EXPECT_TRUE(rep.bound_ok);
+  // The bar of the dumbbell is all shortest paths: it must survive whole.
+  EXPECT_LE(g.num_edges() - result.spanner.num_edges(),
+            g.num_edges());  // sanity
+  EXPECT_TRUE(rep.connectivity_ok);
+}
+
+TEST(Stress, ManySmallComponents) {
+  // 40 disjoint 5-cycles.
+  std::vector<graph::Edge> edges;
+  for (Vertex c = 0; c < 40; ++c) {
+    const Vertex base = c * 5;
+    for (Vertex i = 0; i < 5; ++i) {
+      edges.emplace_back(base + i, base + (i + 1) % 5);
+    }
+  }
+  const Graph g = Graph::from_edges(200, edges);
+  const auto params = Params::practical(200, 0.5, 3, 0.4);
+  const auto result = core::build_spanner(g, params, {.validate = true});
+  const auto rep = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_TRUE(rep.connectivity_ok);
+}
+
+TEST(Stress, HighDegreeHubs) {
+  // Two stars sharing leaves pairwise: a theta-graph-ish hub stress.
+  std::vector<graph::Edge> edges;
+  const Vertex n = 202;
+  for (Vertex v = 2; v < n; ++v) {
+    edges.emplace_back(0, v);
+    edges.emplace_back(1, v);
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const auto params = Params::practical(n, 0.5, 3, 0.4);
+  const auto result = core::build_spanner(g, params, {.validate = true});
+  const auto rep = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_LT(result.spanner.num_edges(), g.num_edges());
+}
+
+TEST(Stress, EveryEpsilonInSweepHoldsItsOwnBound) {
+  const Graph g = graph::make_workload("torus", 225, 7);
+  for (const double eps : {0.9, 0.5, 0.3, 0.2, 0.1}) {
+    const auto params = Params::practical(g.num_vertices(), eps, 3, 0.45);
+    const auto result = core::build_spanner(g, params, {.validate = false});
+    const auto rep = verify::verify_stretch_exact(
+        g, result.spanner, params.stretch_multiplicative(),
+        params.stretch_additive());
+    EXPECT_TRUE(rep.bound_ok) << "eps=" << eps;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Property tests for the deterministic ruling set (core/ruling_set.hpp)
+// against the Theorem 2.2 contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/ruling_set.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using graph::Graph;
+using graph::kInfDist;
+using graph::Vertex;
+
+std::uint64_t base_for(const Graph& g, int c) {
+  return std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(
+             std::ceil(std::pow(static_cast<double>(g.num_vertices()), 1.0 / c))));
+}
+
+void check_contract(const Graph& g, const std::vector<Vertex>& w,
+                    const std::vector<Vertex>& rulers, std::uint64_t q, int c) {
+  // Rulers are a subset of W.
+  std::vector<std::uint8_t> in_w(g.num_vertices(), 0);
+  for (Vertex v : w) in_w[v] = 1;
+  for (Vertex r : rulers) EXPECT_TRUE(in_w[r]) << "ruler " << r << " not in W";
+
+  // Separation: pairwise distance >= q+1.
+  for (Vertex r : rulers) {
+    const auto bfs = graph::bfs(g, r);
+    for (Vertex r2 : rulers) {
+      if (r2 != r && bfs.dist[r2] != kInfDist) {
+        EXPECT_GE(bfs.dist[r2], q + 1) << r << " vs " << r2;
+      }
+    }
+  }
+  // Domination: every w-vertex within q*c of some ruler.
+  if (!w.empty()) {
+    ASSERT_FALSE(rulers.empty());
+    const auto bfs = graph::multi_source_bfs(g, rulers);
+    for (Vertex v : w) {
+      ASSERT_NE(bfs.dist[v], kInfDist);
+      EXPECT_LE(bfs.dist[v], q * static_cast<std::uint64_t>(c)) << v;
+    }
+  }
+}
+
+TEST(RulingSet, ValidatesInputs) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW(core::compute_ruling_set(g, {0}, 0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(core::compute_ruling_set(g, {0}, 1, 0, 2), std::invalid_argument);
+  EXPECT_THROW(core::compute_ruling_set(g, {0}, 1, 2, 1), std::invalid_argument);
+  EXPECT_THROW(core::compute_ruling_set(g, {9}, 1, 2, 2), std::invalid_argument);
+  // b^c < n: digits not unique.
+  const Graph big = graph::path(100);
+  EXPECT_THROW(core::compute_ruling_set(big, {0}, 1, 2, 3), std::invalid_argument);
+}
+
+TEST(RulingSet, EmptyInputGivesEmptyOutput) {
+  const Graph g = graph::path(10);
+  const auto res = core::compute_ruling_set(g, {}, 2, 2, 4);
+  EXPECT_TRUE(res.rulers.empty());
+  EXPECT_EQ(res.rounds_charged, 2u * 4 * 3);  // c*b*(q+1) charged regardless
+}
+
+TEST(RulingSet, SingletonSurvives) {
+  const Graph g = graph::path(10);
+  const auto res = core::compute_ruling_set(g, {4}, 2, 2, 4);
+  ASSERT_EQ(res.rulers.size(), 1u);
+  EXPECT_EQ(res.rulers[0], 4u);
+}
+
+TEST(RulingSet, FarApartVerticesAllSurvive) {
+  const Graph g = graph::path(30);
+  // Pairwise distance 10 > q = 3: nothing can eliminate anything.
+  const auto res = core::compute_ruling_set(g, {0, 10, 20}, 3, 2, 6);
+  EXPECT_EQ(res.rulers.size(), 3u);
+}
+
+TEST(RulingSet, CliqueKeepsExactlyOne) {
+  const Graph g = graph::complete(16);
+  std::vector<Vertex> w;
+  for (Vertex v = 0; v < 16; ++v) w.push_back(v);
+  const auto res = core::compute_ruling_set(g, w, 2, 2, 4);
+  EXPECT_EQ(res.rulers.size(), 1u);
+}
+
+TEST(RulingSet, RoundsFormula) {
+  const Graph g = graph::path(16);
+  const auto res = core::compute_ruling_set(g, {0, 8}, 3, 2, 4);
+  EXPECT_EQ(res.rounds_charged, 2u * 4u * 4u);  // c*b*(q+1)
+}
+
+TEST(RulingSet, DeterministicAcrossRuns) {
+  const Graph g = graph::make_workload("er", 300, 3);
+  std::vector<Vertex> w;
+  for (Vertex v = 0; v < g.num_vertices(); v += 3) w.push_back(v);
+  const auto a = core::compute_ruling_set(g, w, 4, 3, base_for(g, 3));
+  const auto b = core::compute_ruling_set(g, w, 4, 3, base_for(g, 3));
+  EXPECT_EQ(a.rulers, b.rulers);
+}
+
+struct RsCase {
+  std::string family;
+  Vertex n;
+  std::uint64_t q;
+  int c;
+  int stride;
+  std::uint64_t seed;
+};
+
+class RulingSetContract : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(RulingSetContract, MeetsTheorem22) {
+  const auto& tc = GetParam();
+  const Graph g = graph::make_workload(tc.family, tc.n, tc.seed);
+  std::vector<Vertex> w;
+  for (Vertex v = 0; v < g.num_vertices(); v += tc.stride) w.push_back(v);
+  const auto res =
+      core::compute_ruling_set(g, w, tc.q, tc.c, base_for(g, tc.c));
+  check_contract(g, w, res.rulers, tc.q, tc.c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RulingSetContract,
+    ::testing::Values(RsCase{"er", 200, 2, 2, 1, 3},
+                      RsCase{"er", 200, 4, 3, 2, 5},
+                      RsCase{"er", 400, 2, 3, 1, 7},
+                      RsCase{"grid", 225, 3, 2, 1, 1},
+                      RsCase{"grid", 225, 6, 3, 2, 1},
+                      RsCase{"torus", 225, 4, 2, 3, 1},
+                      RsCase{"cycle", 100, 5, 2, 1, 1},
+                      RsCase{"hypercube", 256, 2, 4, 1, 1},
+                      RsCase{"ba", 300, 3, 3, 1, 11},
+                      RsCase{"caveman", 250, 2, 2, 1, 13},
+                      RsCase{"dumbbell", 120, 4, 2, 1, 1},
+                      RsCase{"geometric", 250, 4, 3, 2, 17},
+                      RsCase{"tree", 127, 3, 2, 1, 1},
+                      RsCase{"er_dense", 250, 2, 2, 1, 19}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return c.family + "_n" + std::to_string(c.n) + "_q" +
+             std::to_string(c.q) + "_c" + std::to_string(c.c) + "_s" +
+             std::to_string(c.stride);
+    });
+
+TEST(RulingSet, DisconnectedGraphHandled) {
+  // Two components; W split across them: each side gets its own rulers.
+  const Graph g = graph::Graph::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}});
+  const auto res = core::compute_ruling_set(g, {0, 3, 4, 7}, 2, 2, 3);
+  // Domination must hold within components.
+  const auto bfs = graph::multi_source_bfs(g, res.rulers);
+  for (Vertex v : {0u, 3u, 4u, 7u}) {
+    ASSERT_NE(bfs.dist[v], kInfDist);
+    EXPECT_LE(bfs.dist[v], 4u);
+  }
+}
+
+}  // namespace

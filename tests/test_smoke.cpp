@@ -1,0 +1,29 @@
+// End-to-end smoke test: the full pipeline on a small graph.
+#include <gtest/gtest.h>
+
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+
+TEST(Smoke, BuildSpannerOnSmallRandomGraph) {
+  const auto g = graph::make_workload("er", 200, /*seed=*/1);
+  const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  const auto result = core::build_spanner(g, params);
+
+  EXPECT_TRUE(verify::is_subgraph(g, result.spanner));
+  EXPECT_TRUE(result.trace.all_invariants_ok());
+
+  const auto stretch = verify::verify_stretch_exact(
+      g, result.spanner, params.stretch_multiplicative(),
+      params.stretch_additive());
+  EXPECT_TRUE(stretch.bound_ok);
+  EXPECT_TRUE(stretch.connectivity_ok);
+  EXPECT_GT(result.ledger.rounds(), 0u);
+}
+
+}  // namespace

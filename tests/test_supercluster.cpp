@@ -1,0 +1,121 @@
+// Tests for the superclustering step (core/supercluster.hpp).
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/supercluster.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using core::ClusterState;
+using graph::EdgeSet;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+TEST(Supercluster, ForestRespectsDepth) {
+  const Graph g = graph::path(10);
+  ClusterState cs(10);
+  EdgeSet h(10);
+  const auto res = core::build_superclusters(g, cs, {0}, 3, 0, h);
+  EXPECT_EQ(res.forest_dist[3], 3u);
+  EXPECT_EQ(res.forest_dist[4], kInfDist);
+  EXPECT_EQ(res.forest_root[2], 0u);
+  EXPECT_EQ(res.forest_root[4], kInvalidVertex);
+}
+
+TEST(Supercluster, MergesSpannedCentersAndInstallsPaths) {
+  const Graph g = graph::path(6);
+  ClusterState cs(6);
+  EdgeSet h(6);
+  const auto res = core::build_superclusters(g, cs, {2}, 2, 0, h);
+  // Centers 0..4 are within depth 2 of root 2 and get superclustered.
+  EXPECT_EQ(res.superclustered_centers.size(), 5u);
+  EXPECT_EQ(cs.center(0), 2u);
+  EXPECT_EQ(cs.center(4), 2u);
+  EXPECT_TRUE(cs.is_active(5));
+  EXPECT_TRUE(cs.is_center(5));  // 5 was not spanned
+  // The installed paths make H connect the root to every spanned center.
+  EXPECT_TRUE(h.contains(0, 1));
+  EXPECT_TRUE(h.contains(1, 2));
+  EXPECT_TRUE(h.contains(2, 3));
+  EXPECT_TRUE(h.contains(3, 4));
+  EXPECT_FALSE(h.contains(4, 5));
+  EXPECT_EQ(res.edges_added, 4u);
+}
+
+TEST(Supercluster, TieBreaksTowardsSmallerRoot) {
+  const Graph g = graph::path(5);
+  ClusterState cs(5);
+  EdgeSet h(5);
+  // Roots 0 and 4; vertex 2 is equidistant: smaller root must win.
+  const auto res = core::build_superclusters(g, cs, {0, 4}, 2, 0, h);
+  EXPECT_EQ(res.forest_root[2], 0u);
+}
+
+TEST(Supercluster, PathsShareForestEdges) {
+  const Graph g = graph::star(5);
+  ClusterState cs(5);
+  EdgeSet h(5);
+  // Root 1 (a leaf); centers 2, 3, 4 all routed through hub 0: the shared
+  // hub-root edge is installed once.
+  const auto res = core::build_superclusters(g, cs, {1}, 2, 0, h);
+  EXPECT_EQ(res.superclustered_centers.size(), 5u);
+  EXPECT_EQ(res.edges_added, 4u);  // star has only 4 edges
+}
+
+TEST(Supercluster, RulerMustBeLiveCenter) {
+  const Graph g = graph::path(4);
+  ClusterState cs(4);
+  cs.merge_cluster_into(1, 0);
+  EdgeSet h(4);
+  EXPECT_THROW(core::build_superclusters(g, cs, {1}, 2, 0, h),
+               std::logic_error);
+}
+
+TEST(Supercluster, RadiusBoundLemma23) {
+  // After superclustering with depth D from singleton clusters, every member
+  // is within D of its center inside H.
+  const Graph g = graph::make_workload("grid", 169, 3);
+  ClusterState cs(g.num_vertices());
+  EdgeSet h(g.num_vertices());
+  const std::uint64_t depth = 4;
+  const auto res = core::build_superclusters(g, cs, {0, 84, 168}, depth, 0, h);
+  const Graph hg = h.to_graph();
+  for (Vertex c : cs.centers()) {
+    const auto bfs = graph::bfs(hg, c);
+    for (Vertex v : cs.members(c)) {
+      if (v == c) continue;
+      ASSERT_NE(bfs.dist[v], kInfDist);
+      EXPECT_LE(bfs.dist[v], depth);
+    }
+  }
+  EXPECT_GT(res.superclustered_centers.size(), 0u);
+}
+
+TEST(Supercluster, ChargesRoundsAndMessages) {
+  const Graph g = graph::path(10);
+  ClusterState cs(10);
+  EdgeSet h(10);
+  congest::Ledger ledger;
+  ledger.begin_section("test");
+  const auto res = core::build_superclusters(g, cs, {0}, 3, 5, h, &ledger);
+  EXPECT_EQ(res.rounds_charged, 2u * 4 + 5);
+  EXPECT_EQ(ledger.rounds(), res.rounds_charged);
+  EXPECT_GT(ledger.messages(), 0u);
+}
+
+TEST(Supercluster, EmptyRulersLeavesEverythingAlone) {
+  const Graph g = graph::path(5);
+  ClusterState cs(5);
+  EdgeSet h(5);
+  const auto res = core::build_superclusters(g, cs, {}, 3, 0, h);
+  EXPECT_TRUE(res.superclustered_centers.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(cs.centers().size(), 5u);
+}
+
+}  // namespace

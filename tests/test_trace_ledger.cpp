@@ -1,0 +1,107 @@
+// Tests for the instrumentation surfaces: Trace semantics and Ledger
+// section accounting across a full construction.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using core::Params;
+using graph::Graph;
+
+core::SpannerResult build(const Graph& g) {
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  return core::build_spanner(g, params);
+}
+
+TEST(Trace, OnePhaseTracePerScheduledPhase) {
+  const Graph g = graph::make_workload("er", 200, 1);
+  const auto result = build(g);
+  EXPECT_EQ(result.trace.phases.size(),
+            static_cast<std::size_t>(result.params.ell()) + 1);
+  for (std::size_t i = 0; i < result.trace.phases.size(); ++i) {
+    EXPECT_EQ(result.trace.phases[i].index, static_cast<int>(i));
+  }
+}
+
+TEST(Trace, ScheduleFieldsMirrorParams) {
+  const Graph g = graph::make_workload("er", 200, 2);
+  const auto result = build(g);
+  for (const auto& ph : result.trace.phases) {
+    const auto& sched = result.params.phase(ph.index);
+    EXPECT_EQ(ph.delta, sched.delta);
+    EXPECT_EQ(ph.forest_depth, sched.forest_depth);
+    EXPECT_EQ(ph.radius_bound, sched.radius);
+    EXPECT_GE(ph.deg, sched.deg);  // equal except the concluding-phase cap
+  }
+}
+
+TEST(Trace, ClusterFlowConservation) {
+  // Every phase: clusters either supercluster or settle; next phase starts
+  // with exactly the rulers.
+  const Graph g = graph::make_workload("er_dense", 300, 3);
+  const auto result = build(g);
+  for (std::size_t i = 0; i < result.trace.phases.size(); ++i) {
+    const auto& ph = result.trace.phases[i];
+    EXPECT_EQ(ph.num_superclustered + ph.num_settled, ph.num_clusters);
+    if (i + 1 < result.trace.phases.size()) {
+      EXPECT_EQ(result.trace.phases[i + 1].num_clusters, ph.num_rulers);
+    }
+  }
+  // Settled cluster counts over all phases account for every vertex's
+  // settle event exactly once at the center level: the sum of |U_i| equals
+  // the number of distinct settled centers.
+  std::uint64_t settled = 0;
+  for (const auto& ph : result.trace.phases) settled += ph.num_settled;
+  std::uint64_t distinct_centers = 0;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (result.clusters.settled_center(v) == v) ++distinct_centers;
+  }
+  EXPECT_EQ(settled, distinct_centers);
+}
+
+TEST(Trace, RoundsAndEdgesAggregate) {
+  const Graph g = graph::make_workload("grid", 196, 4);
+  const auto result = build(g);
+  EXPECT_EQ(result.trace.total_edges(), result.spanner.num_edges());
+  EXPECT_LE(result.trace.total_rounds(), result.ledger.rounds());
+  EXPECT_TRUE(result.trace.all_invariants_ok());
+}
+
+TEST(Ledger, SectionsCoverEveryStepOfEveryPhase) {
+  const Graph g = graph::make_workload("er", 150, 5);
+  const auto result = build(g);
+  // Expect alg1/ruling/superclustering/interconnection sections for phases
+  // 0..ell-1 and alg1/count/interconnection for the concluding phase.
+  int alg1 = 0, ruling = 0, super = 0, inter = 0;
+  for (const auto& s : result.ledger.sections()) {
+    if (s.label.find("algorithm1") != std::string::npos) ++alg1;
+    if (s.label.find("ruling") != std::string::npos) ++ruling;
+    if (s.label.find("superclustering") != std::string::npos) ++super;
+    if (s.label.find("interconnection") != std::string::npos) ++inter;
+  }
+  const int ell = result.params.ell();
+  EXPECT_EQ(alg1, ell + 1);
+  EXPECT_EQ(ruling, ell);
+  EXPECT_EQ(super, ell);
+  EXPECT_EQ(inter, ell + 1);
+  // Section rounds sum to the total.
+  std::uint64_t sum = 0;
+  for (const auto& s : result.ledger.sections()) sum += s.rounds;
+  EXPECT_EQ(sum, result.ledger.rounds());
+}
+
+TEST(Ledger, MessagesArePositiveAndSectioned) {
+  const Graph g = graph::make_workload("er", 150, 6);
+  const auto result = build(g);
+  EXPECT_GT(result.ledger.messages(), 0u);
+  std::uint64_t sum = 0;
+  for (const auto& s : result.ledger.sections()) sum += s.messages;
+  EXPECT_EQ(sum, result.ledger.messages());
+}
+
+}  // namespace

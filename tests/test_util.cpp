@@ -1,0 +1,157 @@
+// Unit tests for src/util: deterministic RNG, tables, CSV, flags.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nas::util;
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(0);
+  SplitMix64 b(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x", ""});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("wide-cell"), std::string::npos);
+  // All rendered lines have equal width.
+  std::istringstream iss(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Table::sci(12345.0, 1), "1.2e+04");
+}
+
+TEST(Csv, DisabledWriterIsNoop) {
+  CsvWriter w("", {"a", "b"});
+  EXPECT_FALSE(w.enabled());
+  EXPECT_NO_THROW(w.row({"1", "2"}));
+}
+
+TEST(Csv, WritesHeaderAndEscapes) {
+  const std::string path = "/tmp/nas_test_csv.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.row({"plain", "with,comma"});
+    w.row({"with\"quote", "ok"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "x,y");
+  EXPECT_EQ(l2, "plain,\"with,comma\"");
+  EXPECT_EQ(l3, "\"with\"\"quote\",ok");
+  std::remove(path.c_str());
+}
+
+TEST(Flags, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--n", "42", "--eps=0.5", "--verbose"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.integer("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.real("eps", 0.0), 0.5);
+  EXPECT_TRUE(f.boolean("verbose", false));
+  EXPECT_EQ(f.str("missing", "dflt"), "dflt");
+  EXPECT_NO_THROW(f.reject_unknown());
+}
+
+TEST(Flags, RejectUnknownThrowsOnTypos) {
+  const char* argv[] = {"prog", "--kapa=3"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EQ(f.integer("kappa", 7), 7);
+  EXPECT_THROW(f.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(Flags(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+}  // namespace

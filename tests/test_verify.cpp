@@ -1,0 +1,94 @@
+// Tests for the verification library itself.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "verify/checks.hpp"
+#include "verify/stretch.hpp"
+
+namespace {
+
+using namespace nas;
+using graph::Graph;
+
+TEST(Stretch, IdenticalGraphsHaveStretchOne) {
+  const Graph g = graph::make_workload("er", 100, 1);
+  const auto rep = verify::verify_stretch_exact(g, g, 1.0, 0.0);
+  EXPECT_TRUE(rep.bound_ok);
+  EXPECT_DOUBLE_EQ(rep.max_multiplicative, 1.0);
+  EXPECT_EQ(rep.max_additive, 0u);
+  EXPECT_GT(rep.pairs_checked, 0u);
+}
+
+TEST(Stretch, DetectsViolation) {
+  // G = cycle(6); H = path(6) obtained by dropping edge (5, 0): the pair
+  // (0, 5) goes from distance 1 to 5.
+  const Graph g = graph::cycle(6);
+  const Graph h = graph::path(6);
+  const auto rep = verify::verify_stretch_exact(g, h, 1.0, 2.0);
+  EXPECT_FALSE(rep.bound_ok);
+  EXPECT_EQ(rep.max_additive, 4u);
+  EXPECT_DOUBLE_EQ(rep.max_multiplicative, 5.0);
+  // Worst witness is the severed pair.
+  EXPECT_EQ(rep.worst_dg, 1u);
+  EXPECT_EQ(rep.worst_dh, 5u);
+  // A looser bound accepts it.
+  EXPECT_TRUE(verify::verify_stretch_exact(g, h, 1.0, 4.0).bound_ok);
+  EXPECT_TRUE(verify::verify_stretch_exact(g, h, 5.0, 0.0).bound_ok);
+}
+
+TEST(Stretch, DetectsDisconnection) {
+  const Graph g = graph::path(4);
+  const Graph h = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto rep = verify::verify_stretch_exact(g, h, 10.0, 10.0);
+  EXPECT_FALSE(rep.connectivity_ok);
+  EXPECT_FALSE(rep.bound_ok);
+}
+
+TEST(Stretch, MismatchedSizesThrow) {
+  const Graph g = graph::path(4);
+  const Graph h = graph::path(5);
+  EXPECT_THROW((void)verify::verify_stretch_exact(g, h, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)verify::verify_stretch_sampled(g, h, 1, 0, 2, 1),
+               std::invalid_argument);
+}
+
+TEST(Stretch, SampledSubsetOfExact) {
+  const Graph g = graph::make_workload("er", 200, 3);
+  const Graph h = g;  // trivial spanner
+  const auto all = verify::verify_stretch_exact(g, h, 1.0, 0.0);
+  const auto sampled = verify::verify_stretch_sampled(g, h, 1.0, 0.0, 20, 5);
+  EXPECT_TRUE(sampled.bound_ok);
+  EXPECT_LT(sampled.pairs_checked, all.pairs_checked);
+  // Requesting more sources than vertices degrades to the exact check.
+  const auto full = verify::verify_stretch_sampled(g, h, 1.0, 0.0, 10000, 5);
+  EXPECT_EQ(full.pairs_checked, all.pairs_checked);
+}
+
+TEST(Stretch, SampledDeterministicPerSeed) {
+  const Graph g = graph::make_workload("er", 300, 7);
+  const Graph h = g;
+  const auto a = verify::verify_stretch_sampled(g, h, 1.0, 0.0, 10, 3);
+  const auto b = verify::verify_stretch_sampled(g, h, 1.0, 0.0, 10, 3);
+  EXPECT_EQ(a.pairs_checked, b.pairs_checked);
+}
+
+TEST(Checks, IsSubgraph) {
+  const Graph g = graph::cycle(5);
+  const Graph h = graph::path(5);
+  EXPECT_TRUE(verify::is_subgraph(g, h));
+  EXPECT_FALSE(verify::is_subgraph(h, g));  // cycle has the extra closing edge
+  EXPECT_FALSE(verify::is_subgraph(g, graph::path(4)));  // size mismatch
+}
+
+TEST(Checks, SizeReport) {
+  const Graph g = graph::complete(10);
+  const Graph h = graph::star(10);
+  const auto rep = verify::size_report(g, h, /*beta=*/2.0, /*kappa=*/2);
+  EXPECT_EQ(rep.spanner_edges, 9u);
+  EXPECT_EQ(rep.input_edges, 45u);
+  EXPECT_NEAR(rep.compression, 0.2, 1e-9);
+  EXPECT_TRUE(rep.within_bound);  // 9 <= 2 * 10^1.5
+}
+
+}  // namespace
