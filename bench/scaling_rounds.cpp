@@ -21,11 +21,26 @@ int main(int argc, char** argv) {
   const auto max_n = static_cast<graph::Vertex>(flags.integer("max_n", 8192));
   const std::string family = flags.str("family", "er");
   const std::string csv_path = flags.str("csv", "");
+  // Substrate selection for the engine-backed Algorithm 1 cross-check:
+  // --crosscheck re-simulates every phase round-by-round, so large-n runs
+  // should pick --substrate parallel (optionally --threads N).
+  const bool crosscheck = flags.boolean("crosscheck", false);
+  core::BuildOptions build_options{.validate = false};
+  build_options.cross_check_alg1 = crosscheck;
+  build_options.substrate.substrate =
+      congest::parse_substrate(flags.str("substrate", "serial"));
+  build_options.substrate.threads =
+      static_cast<unsigned>(flags.integer("threads", 0));
   flags.reject_unknown();
 
   bench::banner("S1", "round complexity scaling: rounds vs n");
   std::cout << "family=" << family << " eps=" << eps << " kappa=" << kappa
-            << " rho=" << rho << "\n\n";
+            << " rho=" << rho;
+  if (crosscheck) {
+    std::cout << " crosscheck="
+              << congest::substrate_name(build_options.substrate.substrate);
+  }
+  std::cout << "\n\n";
 
   util::CsvWriter csv(csv_path, {"n", "m", "rounds", "bound", "wall_ms"});
   util::Table t({"n", "m", "rounds (simulated)", "beta*n^rho/rho bound",
@@ -36,7 +51,7 @@ int main(int argc, char** argv) {
     const auto g = graph::make_workload(family, n, 31);
     const auto params = core::Params::practical(g.num_vertices(), eps, kappa, rho);
     util::Timer timer;
-    const auto result = core::build_spanner(g, params, {.validate = false});
+    const auto result = core::build_spanner(g, params, build_options);
     const double wall = timer.millis();
     const auto rounds = static_cast<double>(result.ledger.rounds());
     const double bound = params.beta_paper() *

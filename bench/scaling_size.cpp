@@ -15,6 +15,14 @@ int main(int argc, char** argv) {
   const auto max_n = static_cast<graph::Vertex>(flags.integer("max_n", 8192));
   const std::string family = flags.str("family", "er_dense");
   const std::string csv_path = flags.str("csv", "");
+  // Substrate selection for the engine-backed Algorithm 1 cross-check; see
+  // scaling_rounds.cpp.  Large-n cross-checked runs want --substrate parallel.
+  core::BuildOptions build_options{.validate = false};
+  build_options.cross_check_alg1 = flags.boolean("crosscheck", false);
+  build_options.substrate.substrate =
+      congest::parse_substrate(flags.str("substrate", "serial"));
+  build_options.substrate.threads =
+      static_cast<unsigned>(flags.integer("threads", 0));
   flags.reject_unknown();
 
   bench::banner("S2", "spanner size scaling: |H| vs n and vs kappa");
@@ -31,7 +39,7 @@ int main(int argc, char** argv) {
       const auto g = graph::make_workload(family, n, 37);
       const auto params =
           core::Params::practical(g.num_vertices(), eps, kappa, rho);
-      const auto result = core::build_spanner(g, params, {.validate = false});
+      const auto result = core::build_spanner(g, params, build_options);
       const auto edges = static_cast<double>(result.spanner.num_edges());
       const double norm =
           edges / std::pow(static_cast<double>(g.num_vertices()),

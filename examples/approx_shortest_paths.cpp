@@ -67,8 +67,14 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     const auto& b = buckets[i];
     if (b.pairs == 0) continue;
-    t.add_row({"[" + std::to_string(1u << i) + "," +
-                   std::to_string(2u << i) + ")",
+    // Assemble via += (GCC 12's -Wrestrict false positive PR105651 flags
+    // `"[" + rvalue string`).
+    std::string range = "[";
+    range += std::to_string(1u << i);
+    range += ",";
+    range += std::to_string(2u << i);
+    range += ")";
+    t.add_row({range,
                std::to_string(b.pairs),
                util::Table::num(static_cast<double>(b.err_sum) / b.pairs),
                std::to_string(b.err_max),

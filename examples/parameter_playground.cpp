@@ -44,15 +44,20 @@ int main(int argc, char** argv) {
           if (!deltas.empty()) deltas += ",";
           deltas += std::to_string(ph.delta);
         }
+        // Assemble via += (GCC 12's -Wrestrict false positive PR105651
+        // flags `"(" + rvalue string`).
+        std::string bound = "(";
+        bound += util::Table::num(params.stretch_multiplicative());
+        bound += ", ";
+        bound += util::Table::num(params.stretch_additive(), 0);
+        bound += ")";
+        if (!rep.bound_ok) bound += " VIOLATED";
         t.add_row({util::Table::num(eps), std::to_string(kappa),
                    util::Table::num(rho), std::to_string(params.ell()),
                    deltas, std::to_string(result.spanner.num_edges()),
                    std::to_string(result.ledger.rounds()),
                    util::Table::num(rep.max_multiplicative),
-                   std::to_string(rep.max_additive),
-                   "(" + util::Table::num(params.stretch_multiplicative()) +
-                       ", " + util::Table::num(params.stretch_additive(), 0) +
-                       ")" + (rep.bound_ok ? "" : " VIOLATED")});
+                   std::to_string(rep.max_additive), bound});
       }
     }
   }

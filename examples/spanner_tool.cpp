@@ -1,7 +1,7 @@
 // Command-line spanner tool: read an edge list, write the spanner's edge
 // list plus a stats summary — the "downstream user" entry point.
 //
-//   ./spanner_tool --in graph.txt --out spanner.txt \
+//   ./spanner_tool --in graph.txt --out spanner.txt
 //       [--eps 0.25] [--kappa 3] [--rho 0.4] [--mode practical|paper]
 //       [--verify 32]   # sampled stretch verification with k sources
 //

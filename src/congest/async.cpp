@@ -13,25 +13,11 @@ using graph::kInvalidVertex;
 using graph::Vertex;
 
 AsyncEngine::AsyncEngine(const Graph& g, Options options)
-    : g_(&g), options_(options) {
+    : g_(&g), options_(options), dir_index_(g) {
   if (options_.max_delay == 0) {
     throw std::invalid_argument("AsyncEngine: max_delay must be >= 1");
   }
-  const Vertex n = g.num_vertices();
-  dir_offsets_.resize(n + 1, 0);
-  for (Vertex v = 0; v < n; ++v) {
-    dir_offsets_[v + 1] = dir_offsets_[v] + g.degree(v);
-  }
-  last_delivery_.assign(dir_offsets_[n], 0);
-}
-
-std::size_t AsyncEngine::directed_slot(Vertex from, Vertex to) const {
-  const auto nb = g_->neighbors(from);
-  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
-  if (it == nb.end() || *it != to) {
-    throw std::invalid_argument("AsyncEngine: send to non-neighbor");
-  }
-  return dir_offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+  last_delivery_.assign(dir_index_.size(), 0);
 }
 
 std::uint64_t AsyncEngine::delay(Vertex from, Vertex to) {
@@ -44,7 +30,7 @@ std::uint64_t AsyncEngine::delay(Vertex from, Vertex to) {
 }
 
 void AsyncEngine::enqueue(Vertex from, Vertex to, Message m) {
-  const std::size_t slot = directed_slot(from, to);
+  const std::size_t slot = dir_index_.slot(*g_, from, to, "AsyncEngine");
   m.src = from;
   std::uint64_t when = now_ + delay(from, to);
   when = std::max(when, last_delivery_[slot] + 1);  // FIFO links
@@ -233,7 +219,15 @@ AlphaResult run_alpha_synchronized(const Graph& g, std::uint64_t rounds,
 
   // Round 0 starts everywhere unconditionally.
   for (Vertex v = 0; v < n; ++v) execute_round(v);
-  result.virtual_time = engine.run(handler);
+  // Legitimate traffic is bounded per round: one payload + one ack per
+  // edge-direction plus one SAFE per edge-direction.  Budget that (with
+  // headroom) instead of a flat cap, so large synchronized executions
+  // complete while runaway loops still trip the guard.
+  const std::uint64_t per_round =
+      6 * static_cast<std::uint64_t>(g.num_edges()) + n;
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(50'000'000, 2 * rounds * per_round);
+  result.virtual_time = engine.run(handler, budget);
 
   // Every node must have completed all rounds; anything else is a deadlock
   // in the synchronizer (a bug, not a user error).

@@ -86,12 +86,10 @@ class AsyncEngine {
   // Per directed edge: the delivery time of the last message sent on it;
   // later sends deliver no earlier (FIFO links).
   std::vector<std::uint64_t> last_delivery_;
-  std::vector<std::size_t> dir_offsets_;
+  DirectedEdgeIndex dir_index_;
   std::uint64_t now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t delivered_ = 0;
-
-  std::size_t directed_slot(graph::Vertex from, graph::Vertex to) const;
 };
 
 /// Result of an α-synchronized execution.

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace nas::congest {
 
 using graph::Graph;
 using graph::Vertex;
+
+DirectedEdgeIndex::DirectedEdgeIndex(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  offsets_.resize(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+}
+
+std::size_t DirectedEdgeIndex::slot(const Graph& g, Vertex from, Vertex to,
+                                    const char* who) const {
+  const auto nb = g.neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  if (it == nb.end() || *it != to) {
+    throw std::invalid_argument(std::string(who) + ": send to non-neighbor");
+  }
+  return offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+}
 
 /// The synchronous engine's concrete mailbox: validates the bandwidth
 /// constraint and stages messages for next-round delivery.
@@ -16,7 +35,7 @@ class Engine::RoundMailbox final : public congest::Mailbox {
 
   void send(Vertex to, Message m) override {
     Engine& e = engine_;
-    const std::size_t slot = e.directed_slot(from_, to);
+    const std::size_t slot = e.dir_index_.slot(*e.g_, from_, to, "Engine");
     if (e.edge_used_round_[slot] == e.current_round_) {
       throw std::logic_error(
           "CONGEST violation: two messages on one edge-direction in one round");
@@ -35,24 +54,20 @@ class Engine::RoundMailbox final : public congest::Mailbox {
   Engine& engine_;
 };
 
-Engine::Engine(const Graph& g, Ledger* ledger) : g_(&g), ledger_(ledger) {
+Engine::Engine(const Graph& g, Ledger* ledger)
+    : g_(&g), ledger_(ledger), dir_index_(g) {
   const Vertex n = g.num_vertices();
   inbox_.resize(n);
   next_inbox_.resize(n);
-  dir_offsets_.resize(n + 1, 0);
-  for (Vertex v = 0; v < n; ++v) {
-    dir_offsets_[v + 1] = dir_offsets_[v] + g.degree(v);
-  }
-  edge_used_round_.assign(dir_offsets_[n], static_cast<std::uint64_t>(-1));
+  edge_used_round_.assign(dir_index_.size(), static_cast<std::uint64_t>(-1));
 }
 
-std::size_t Engine::directed_slot(Vertex from, Vertex to) const {
-  const auto nb = g_->neighbors(from);
-  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
-  if (it == nb.end() || *it != to) {
-    throw std::invalid_argument("Engine: send to non-neighbor");
-  }
-  return dir_offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+void Engine::begin_run() {
+  // Round numbering restarts at 0 on every run call; drop last run's stamps
+  // so a legitimate send in round r is not mistaken for a re-send on an edge
+  // used in the previous run's round r.
+  std::fill(edge_used_round_.begin(), edge_used_round_.end(),
+            static_cast<std::uint64_t>(-1));
 }
 
 void Engine::do_round(std::uint64_t round, const NodeProgram& program) {
@@ -76,6 +91,7 @@ void Engine::do_round(std::uint64_t round, const NodeProgram& program) {
 }
 
 std::uint64_t Engine::run_rounds(std::uint64_t rounds, const NodeProgram& program) {
+  begin_run();
   for (std::uint64_t r = 0; r < rounds; ++r) do_round(r, program);
   return rounds;
 }
@@ -83,6 +99,7 @@ std::uint64_t Engine::run_rounds(std::uint64_t rounds, const NodeProgram& progra
 std::uint64_t Engine::run_until_quiescent(const NodeProgram& program,
                                           const std::function<bool()>& quiescent,
                                           std::uint64_t max_rounds) {
+  begin_run();
   std::uint64_t r = 0;
   for (; r < max_rounds; ++r) {
     do_round(r, program);

@@ -50,6 +50,28 @@ class Mailbox {
   ~Mailbox() = default;
 };
 
+/// Shared CSR indexing of directed edges for the execution engines: the
+/// slot of (from, to) is offsets[from] + the rank of `to` in from's sorted
+/// neighbor list, giving each engine a dense per-edge-direction array for
+/// its bandwidth guard / FIFO bookkeeping.
+class DirectedEdgeIndex {
+ public:
+  DirectedEdgeIndex() = default;
+  explicit DirectedEdgeIndex(const graph::Graph& g);
+
+  /// Throws std::invalid_argument (prefixed with `who`) for non-neighbors.
+  [[nodiscard]] std::size_t slot(const graph::Graph& g, graph::Vertex from,
+                                 graph::Vertex to, const char* who) const;
+
+  /// Total number of directed-edge slots (2|E|).
+  [[nodiscard]] std::size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+};
+
 class Engine {
  public:
   using Mailbox = congest::Mailbox;
@@ -77,6 +99,7 @@ class Engine {
  private:
   class RoundMailbox;
 
+  void begin_run();  // per-run reset of the bandwidth guard
   void do_round(std::uint64_t round, const NodeProgram& program);
   bool in_flight() const { return pending_count_ > 0; }
 
@@ -87,12 +110,10 @@ class Engine {
   std::vector<std::vector<Message>> next_inbox_;
   // Per-round used-edge guard: (sender, receiver) pairs already used.
   std::vector<std::uint64_t> edge_used_round_;  // per directed-edge slot
-  std::vector<std::size_t> dir_offsets_;        // directed edge slot index base
+  DirectedEdgeIndex dir_index_;
   std::uint64_t current_round_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::size_t pending_count_ = 0;
-
-  std::size_t directed_slot(graph::Vertex from, graph::Vertex to) const;
 };
 
 }  // namespace nas::congest

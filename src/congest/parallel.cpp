@@ -1,0 +1,216 @@
+#include "congest/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace nas::congest {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Per-worker mailbox: the bandwidth guard touches only the sending vertex's
+/// edge slots and the staging buffers belong to one worker, so sends are
+/// lock-free and race-free by construction.
+class ParallelEngine::WorkerMailbox final : public congest::Mailbox {
+ public:
+  WorkerMailbox(ParallelEngine& engine, unsigned worker)
+      : engine_(engine), worker_(worker) {}
+
+  void send(Vertex to, Message m) override {
+    ParallelEngine& e = engine_;
+    const std::size_t slot =
+        e.dir_index_.slot(*e.g_, from_, to, "ParallelEngine");
+    if (e.edge_used_round_[slot] == e.current_round_) {
+      throw std::logic_error(
+          "CONGEST violation: two messages on one edge-direction in one round");
+    }
+    e.edge_used_round_[slot] = e.current_round_;
+    m.src = from_;
+    const unsigned dest = e.owner_[to];
+    e.outbox_[worker_ * e.threads_ + dest].emplace_back(to, m);
+    ++e.worker_sent_[worker_];
+  }
+
+  Vertex from_ = graph::kInvalidVertex;
+
+ private:
+  ParallelEngine& engine_;
+  unsigned worker_;
+};
+
+ParallelEngine::ParallelEngine(const Graph& g, Options options, Ledger* ledger)
+    : g_(&g), ledger_(ledger), dir_index_(g) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  threads_ = options.threads == 0 ? hw : options.threads;
+  // No point in more workers than vertices (and block_begin needs n >= T to
+  // hand every worker a distinct range; empty ranges are fine, n == 0 is not).
+  if (g.num_vertices() > 0) {
+    threads_ = static_cast<unsigned>(std::min<std::uint64_t>(
+        threads_, g.num_vertices()));
+  } else {
+    threads_ = 1;
+  }
+
+  const Vertex n = g.num_vertices();
+  inbox_.resize(n);
+  edge_used_round_.assign(dir_index_.size(), static_cast<std::uint64_t>(-1));
+  outbox_.resize(static_cast<std::size_t>(threads_) * threads_);
+  worker_sent_.assign(threads_, 0);
+  worker_pending_.assign(threads_, 0);
+  owner_.resize(n);
+  for (unsigned w = 0; w < threads_; ++w) {
+    for (Vertex v = block_begin(w); v < block_begin(w + 1); ++v) owner_[v] = w;
+  }
+  barrier_.reset(threads_);
+}
+
+void ParallelEngine::record_exception() noexcept {
+  std::lock_guard<std::mutex> lock(error_m_);
+  if (!first_error_) first_error_ = std::current_exception();
+  aborted_.store(true, std::memory_order_relaxed);
+}
+
+void ParallelEngine::end_of_round() {
+  pending_count_ = 0;
+  std::uint64_t sent = 0;
+  for (unsigned w = 0; w < threads_; ++w) {
+    sent += worker_sent_[w];
+    pending_count_ += worker_pending_[w];
+    worker_sent_[w] = 0;
+    worker_pending_[w] = 0;
+  }
+  messages_sent_ += sent;
+  if (ledger_ != nullptr) {
+    ledger_->charge_messages(sent);
+    ledger_->charge_rounds(1);
+  }
+  rounds_executed_ = current_round_ + 1;
+
+  if (aborted_.load(std::memory_order_relaxed)) {
+    stop_ = true;
+    return;
+  }
+  if (quiescent_ != nullptr && pending_count_ == 0) {
+    try {
+      if ((*quiescent_)()) {
+        stop_ = true;
+        return;
+      }
+    } catch (...) {
+      record_exception();
+      stop_ = true;
+      return;
+    }
+  }
+  ++current_round_;
+  if (current_round_ >= max_rounds_) stop_ = true;
+}
+
+void ParallelEngine::worker_loop(unsigned w, const NodeProgram& program) {
+  const Vertex begin = block_begin(w);
+  const Vertex end = block_begin(w + 1);
+  WorkerMailbox mbox(*this, w);
+  const std::function<void()> completion = [this] { end_of_round(); };
+  const std::function<void()> no_completion;
+
+  for (;;) {
+    // Compute: the program runs for this worker's vertices, staging sends.
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      try {
+        const std::uint64_t round = current_round_;
+        for (Vertex v = begin; v < end; ++v) {
+          mbox.from_ = v;
+          auto& in = inbox_[v];
+          program(v, round, std::span<const Message>(in.data(), in.size()),
+                  mbox);
+        }
+      } catch (...) {
+        record_exception();
+      }
+    }
+    barrier_.arrive_and_wait(no_completion);
+
+    // Delivery: gather this block's messages, sort inboxes by sender.
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      try {
+        for (Vertex v = begin; v < end; ++v) inbox_[v].clear();
+        for (unsigned u = 0; u < threads_; ++u) {
+          auto& box = outbox_[static_cast<std::size_t>(u) * threads_ + w];
+          for (auto& [to, m] : box) inbox_[to].push_back(m);
+          box.clear();
+        }
+        std::uint64_t pending = 0;
+        for (Vertex v = begin; v < end; ++v) {
+          auto& in = inbox_[v];
+          std::sort(in.begin(), in.end(), [](const Message& x, const Message& y) {
+            return x.src < y.src;
+          });
+          pending += in.size();
+        }
+        worker_pending_[w] = pending;
+      } catch (...) {
+        record_exception();
+      }
+    }
+    barrier_.arrive_and_wait(completion);
+    if (stop_) return;
+  }
+}
+
+std::uint64_t ParallelEngine::run(const NodeProgram& program,
+                                  const std::function<bool()>* quiescent,
+                                  std::uint64_t max_rounds) {
+  if (max_rounds == 0) return 0;
+  if (g_->num_vertices() == 0) {
+    // Vertex-free rounds still tick, exactly like the serial engine.
+    for (std::uint64_t r = 0; r < max_rounds; ++r) {
+      if (ledger_ != nullptr) ledger_->charge_rounds(1);
+      if (quiescent != nullptr && (*quiescent)()) return r + 1;
+    }
+    return max_rounds;
+  }
+
+  // Reset round state; inboxes may carry messages across run() calls, matching
+  // the serial engine, so they are left alone.  Round numbering restarts, so
+  // the bandwidth-guard stamps must not (Engine::begin_run does the same);
+  // staging buffers may hold leftovers from an aborted run — drop them.
+  std::fill(edge_used_round_.begin(), edge_used_round_.end(),
+            static_cast<std::uint64_t>(-1));
+  for (auto& box : outbox_) box.clear();
+  for (unsigned w = 0; w < threads_; ++w) {
+    worker_sent_[w] = 0;
+    worker_pending_[w] = 0;
+  }
+  current_round_ = 0;
+  rounds_executed_ = 0;
+  max_rounds_ = max_rounds;
+  quiescent_ = quiescent;
+  stop_ = false;
+  aborted_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    pool.emplace_back([this, w, &program] { worker_loop(w, program); });
+  }
+  worker_loop(0, program);
+  for (auto& t : pool) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  return rounds_executed_;
+}
+
+std::uint64_t ParallelEngine::run_rounds(std::uint64_t rounds,
+                                         const NodeProgram& program) {
+  return run(program, nullptr, rounds);
+}
+
+std::uint64_t ParallelEngine::run_until_quiescent(
+    const NodeProgram& program, const std::function<bool()>& quiescent,
+    std::uint64_t max_rounds) {
+  return run(program, &quiescent, max_rounds);
+}
+
+}  // namespace nas::congest

@@ -1,0 +1,65 @@
+#include "congest/substrate.hpp"
+
+#include <stdexcept>
+
+#include "congest/async.hpp"
+#include "congest/parallel.hpp"
+
+namespace nas::congest {
+
+Substrate parse_substrate(std::string_view name) {
+  if (name == "serial") return Substrate::kSerial;
+  if (name == "parallel") return Substrate::kParallel;
+  if (name == "alpha") return Substrate::kAlpha;
+  throw std::invalid_argument("unknown substrate '" + std::string(name) +
+                              "' (expected serial, parallel, or alpha)");
+}
+
+std::string_view substrate_name(Substrate substrate) {
+  switch (substrate) {
+    case Substrate::kSerial:
+      return "serial";
+    case Substrate::kParallel:
+      return "parallel";
+    case Substrate::kAlpha:
+      return "alpha";
+  }
+  throw std::invalid_argument("substrate_name: bad enum value");
+}
+
+SubstrateRun run_on_substrate(const graph::Graph& g, std::uint64_t rounds,
+                              const Engine::NodeProgram& program,
+                              const SubstrateOptions& options, Ledger* ledger) {
+  SubstrateRun run;
+  switch (options.substrate) {
+    case Substrate::kSerial: {
+      Engine engine(g, ledger);
+      run.rounds = engine.run_rounds(rounds, program);
+      run.messages = engine.messages_sent();
+      return run;
+    }
+    case Substrate::kParallel: {
+      ParallelEngine engine(g, {.threads = options.threads}, ledger);
+      run.rounds = engine.run_rounds(rounds, program);
+      run.messages = engine.messages_sent();
+      return run;
+    }
+    case Substrate::kAlpha: {
+      const AlphaResult alpha = run_alpha_synchronized(
+          g, rounds, program,
+          {.seed = options.alpha_seed, .max_delay = options.alpha_max_delay});
+      run.rounds = alpha.rounds;
+      run.messages = alpha.payload_messages;
+      // The synchronizer charges nothing itself; account the synchronous
+      // cost here so all three substrates agree on the ledger.
+      if (ledger != nullptr) {
+        ledger->charge_rounds(run.rounds);
+        ledger->charge_messages(run.messages);
+      }
+      return run;
+    }
+  }
+  throw std::invalid_argument("run_on_substrate: bad substrate enum");
+}
+
+}  // namespace nas::congest

@@ -1,0 +1,68 @@
+// Substrate selection: one entry point to execute a synchronous NodeProgram
+// on any of the library's three interchangeable execution substrates.
+//
+//   serial    -- the exact round engine (congest/engine.hpp)
+//   parallel  -- the multi-threaded round engine (congest/parallel.hpp)
+//   alpha     -- Awerbuch's synchronizer α over the asynchronous event
+//                engine (congest/async.hpp)
+//
+// All three deliver identical inboxes in identical order, so a program that
+// only touches its own vertex's state produces bit-identical results on each
+// (tests/test_substrate_equivalence.cpp).  Callers that execute
+// engine-backed reference checks — build_spanner's Algorithm 1 cross-check,
+// run_algorithm1_exact, the scaling benches — take a `SubstrateOptions` so
+// large-n runs can route through the parallel path.
+//
+// Restrictions: the alpha substrate supports neither quiescence detection
+// (the synchronizer needs the round count up front) nor programs that use
+// message field `c` (it carries the synchronizer tag).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "congest/engine.hpp"
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::congest {
+
+enum class Substrate {
+  kSerial,
+  kParallel,
+  kAlpha,
+};
+
+struct SubstrateOptions {
+  Substrate substrate = Substrate::kSerial;
+  /// Parallel substrate: worker threads, 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Alpha substrate: delay-model seed and maximum per-hop delay.
+  std::uint64_t alpha_seed = 1;
+  std::uint32_t alpha_max_delay = 4;
+};
+
+/// Parses "serial" / "parallel" / "alpha"; throws std::invalid_argument
+/// otherwise.  This is the accepted vocabulary of every --substrate flag.
+[[nodiscard]] Substrate parse_substrate(std::string_view name);
+
+[[nodiscard]] std::string_view substrate_name(Substrate substrate);
+
+/// What a substrate execution consumed, in CONGEST terms.
+struct SubstrateRun {
+  std::uint64_t rounds = 0;    ///< synchronous rounds executed
+  std::uint64_t messages = 0;  ///< program (payload) messages sent
+};
+
+/// Runs exactly `rounds` rounds of `program` on the selected substrate and
+/// charges `ledger` (if given) the synchronous cost: one round per round and
+/// the payload messages.  Alpha control traffic is intentionally not charged
+/// — the ledger accounts the synchronous algorithm, whichever substrate
+/// simulates it.
+SubstrateRun run_on_substrate(const graph::Graph& g, std::uint64_t rounds,
+                              const Engine::NodeProgram& program,
+                              const SubstrateOptions& options = {},
+                              Ledger* ledger = nullptr);
+
+}  // namespace nas::congest

@@ -56,6 +56,34 @@ void check_ruling_contract(const Graph& g, const std::vector<Vertex>& w,
   }
 }
 
+/// BuildOptions::cross_check_alg1: the event-driven Algorithm 1 must match
+/// an exact engine-backed reference execution bit-for-bit, on whichever
+/// substrate the caller selected.  The reference is verification work, so it
+/// is not charged to the run's ledger.
+void check_alg1_reference(const Graph& g, const std::vector<Vertex>& centers,
+                          std::uint64_t delta, std::uint64_t cap,
+                          const Algorithm1Result& fast,
+                          const congest::SubstrateOptions& substrate,
+                          int phase) {
+  const Algorithm1Result exact =
+      run_algorithm1_exact(g, centers, delta, cap, nullptr, substrate);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool ok = fast.knowledge[v].size() == exact.knowledge[v].size() &&
+              fast.popular[v] == exact.popular[v];
+    for (std::size_t i = 0; ok && i < fast.knowledge[v].size(); ++i) {
+      ok = fast.knowledge[v][i].origin == exact.knowledge[v][i].origin &&
+           fast.knowledge[v][i].dist == exact.knowledge[v][i].dist &&
+           fast.knowledge[v][i].parent == exact.knowledge[v][i].parent;
+    }
+    if (!ok) {
+      throw std::logic_error(
+          "Algorithm 1 cross-check failed in phase " + std::to_string(phase) +
+          " at vertex " + std::to_string(v) + " (substrate " +
+          std::string(congest::substrate_name(substrate.substrate)) + ")");
+    }
+  }
+}
+
 /// Lemma 2.3 validation: every member of a live cluster is within R_{i+1}
 /// of its center *inside the spanner built so far*.
 void check_radius(const graph::EdgeSet& H, const ClusterState& clusters,
@@ -121,6 +149,11 @@ SpannerResult build_spanner(const Graph& g, const Params& params,
     const Algorithm1Result alg1 =
         run_algorithm1(g, centers, sched.delta, cap, &ledger);
     pt.rounds_alg1 = alg1.rounds_charged;
+
+    if (options.cross_check_alg1) {
+      check_alg1_reference(g, centers, sched.delta, cap, alg1,
+                           options.substrate, i);
+    }
 
     std::vector<Vertex> popular;
     for (Vertex rc : centers) {

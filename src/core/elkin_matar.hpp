@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "congest/ledger.hpp"
+#include "congest/substrate.hpp"
 #include "core/cluster.hpp"
 #include "core/params.hpp"
 #include "core/trace.hpp"
@@ -25,6 +26,18 @@ struct BuildOptions {
   /// throw std::logic_error.  Costs extra centralized BFS work; disable for
   /// large-scale benches.
   bool validate = true;
+
+  /// Re-run each phase's Algorithm 1 on an exact round engine and require
+  /// the event-driven result to match bit-for-bit (knowledge lists and
+  /// popularity).  Mismatches throw std::logic_error.  Expensive — the
+  /// reference simulates every round — so large-n runs should select the
+  /// parallel substrate below.
+  bool cross_check_alg1 = false;
+
+  /// Substrate for the engine-backed reference executions: the serial round
+  /// engine (default), the multi-threaded round engine, or synchronizer α
+  /// over the asynchronous engine.  All three are bit-identical.
+  congest::SubstrateOptions substrate{};
 };
 
 struct SpannerResult {

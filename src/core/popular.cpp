@@ -118,7 +118,8 @@ Algorithm1Result run_algorithm1(const Graph& g,
 Algorithm1Result run_algorithm1_exact(const Graph& g,
                                       const std::vector<Vertex>& sources,
                                       std::uint64_t delta, std::uint64_t cap,
-                                      congest::Ledger* ledger) {
+                                      congest::Ledger* ledger,
+                                      const congest::SubstrateOptions& substrate) {
   validate(g, sources, delta, cap);
   const Vertex n = g.num_vertices();
 
@@ -126,23 +127,23 @@ Algorithm1Result run_algorithm1_exact(const Graph& g,
   res.knowledge.resize(n);
   res.popular.assign(n, 0);
 
-  std::unordered_set<std::uint64_t> known;
   std::vector<std::uint8_t> is_source(n, 0);
-  for (Vertex s : sources) {
-    is_source[s] = 1;
-    known.insert(pair_key(s, s));
-  }
+  for (Vertex s : sources) is_source[s] = 1;
 
-  // Per-vertex state for the round-exact execution.
+  // Per-vertex state for the round-exact execution.  Everything below is
+  // indexed by the executing vertex and touched by no one else, so the
+  // program is safe on every substrate, including the multi-threaded engine.
+  // known[v]: origins v has accepted (plus itself for sources).
+  std::vector<std::unordered_set<Vertex>> known(n);
+  for (Vertex s : sources) known[s].insert(s);
   // buffered arrivals of the current layer: (origin, sender, dist)
   std::vector<std::vector<std::tuple<Vertex, Vertex, std::uint32_t>>> buffer(n);
   // origins accepted at the previous layer boundary, to broadcast this layer
   std::vector<std::vector<Vertex>> pending(n);
 
-  congest::Engine engine(g, ledger);
   const auto program = [&](Vertex v, std::uint64_t round,
                            std::span<const congest::Message> inbox,
-                           congest::Engine::Mailbox& mbox) {
+                           congest::Mailbox& mbox) {
     for (const auto& m : inbox) {
       buffer[v].emplace_back(static_cast<Vertex>(m.a), m.src,
                              static_cast<std::uint32_t>(m.b) + 1);
@@ -168,7 +169,7 @@ Algorithm1Result run_algorithm1_exact(const Graph& g,
       for (const auto& [o, u, d] : buf) {
         if (d > delta) continue;  // exploration is depth-bounded by δ
         if (res.knowledge[v].size() >= cap) break;
-        if (!known.insert(pair_key(v, o)).second) continue;
+        if (!known[v].insert(o).second) continue;
         res.knowledge[v].push_back({.origin = o, .dist = d, .parent = u});
         pending[v].push_back(o);
       }
@@ -182,11 +183,13 @@ Algorithm1Result run_algorithm1_exact(const Graph& g,
   };
   // 1 announcement round + delta layers of cap rounds + 1 boundary round to
   // process the final layer's arrivals.
-  res.rounds_charged = engine.run_rounds(delta * cap + 2, program);
+  const congest::SubstrateRun run =
+      congest::run_on_substrate(g, delta * cap + 2, program, substrate, ledger);
+  res.rounds_charged = run.rounds;
   // Flush the final boundary (the engine already ran it as the last round's
   // layer_pos == 0 processing only if (delta*cap+1 - 1) % cap == 0, which it
   // is: round delta*cap+1 begins layer delta+1).
-  res.messages = engine.messages_sent();
+  res.messages = run.messages;
 
   for (Vertex s : sources) {
     res.popular[s] = res.knowledge[s].size() >= cap ? 1 : 0;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "congest/ledger.hpp"
+#include "congest/substrate.hpp"
 #include "graph/graph.hpp"
 
 namespace nas::core {
@@ -65,12 +66,16 @@ struct Algorithm1Result {
     std::uint64_t delta, std::uint64_t cap,
     congest::Ledger* ledger = nullptr);
 
-/// Exact engine-backed reference (δ·cap+1 real simulated rounds); intended
-/// for small inputs in tests.
+/// Exact engine-backed reference (δ·cap+2 real simulated rounds); used by
+/// the tests and by build_spanner's cross-check mode.  `substrate` selects
+/// the execution substrate — the serial engine, the multi-threaded engine
+/// (for large n), or the α-synchronizer; the result is bit-identical on all
+/// three.
 [[nodiscard]] Algorithm1Result run_algorithm1_exact(
     const graph::Graph& g, const std::vector<graph::Vertex>& sources,
     std::uint64_t delta, std::uint64_t cap,
-    congest::Ledger* ledger = nullptr);
+    congest::Ledger* ledger = nullptr,
+    const congest::SubstrateOptions& substrate = {});
 
 /// Convenience: looks up `origin` in knowledge[v]; returns nullptr if absent.
 [[nodiscard]] const Knowledge* find_knowledge(

@@ -1,0 +1,241 @@
+// Tests for the multi-threaded CONGEST round engine: determinism across
+// thread counts, bandwidth enforcement under concurrency, and behavioral
+// parity with the serial engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "congest/engine.hpp"
+#include "congest/ledger.hpp"
+#include "congest/parallel.hpp"
+#include "graph/generators.hpp"
+#include "substrate_harness.hpp"
+
+namespace {
+
+using namespace nas;
+using namespace nas::congest;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(ParallelEngine, DeliversNextRound) {
+  const Graph g = graph::path(3);
+  ParallelEngine engine(g, {.threads = 2});
+  std::vector<int> received(3, 0);
+  engine.run_rounds(3, [&](Vertex v, std::uint64_t round,
+                           std::span<const Message> inbox, Mailbox& mbox) {
+    for (const auto& m : inbox) received[v] += static_cast<int>(m.a);
+    if (round == 0 && v == 0) mbox.send(1, {.a = 7});
+  });
+  EXPECT_EQ(received[1], 7);
+  EXPECT_EQ(received[0], 0);
+  EXPECT_EQ(received[2], 0);
+}
+
+TEST(ParallelEngine, DeterministicAcrossThreadCounts) {
+  const Graph g = graph::make_workload("er", 200, 17);
+  const auto factory = testing_support::mixer_program_factory();
+
+  std::vector<std::uint64_t> reference;
+  std::uint64_t reference_messages = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::uint64_t> state;
+    const auto program = factory(g, state);
+    ParallelEngine engine(g, {.threads = threads});
+    engine.run_rounds(5, program);
+    if (reference.empty()) {
+      reference = state;
+      reference_messages = engine.messages_sent();
+    } else {
+      EXPECT_EQ(state, reference) << "threads=" << threads;
+      EXPECT_EQ(engine.messages_sent(), reference_messages)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesSerialEngineOnFamilies) {
+  for (const std::string family : {"er", "grid", "tree", "dumbbell"}) {
+    const Graph g = graph::make_workload(family, 150, 23);
+    const auto factory = testing_support::bfs_program_factory();
+
+    std::vector<std::uint64_t> serial_state;
+    Engine serial(g);
+    serial.run_rounds(20, factory(g, serial_state));
+
+    std::vector<std::uint64_t> parallel_state;
+    ParallelEngine parallel(g, {.threads = 8});
+    parallel.run_rounds(20, factory(g, parallel_state));
+
+    EXPECT_EQ(parallel_state, serial_state) << family;
+    EXPECT_EQ(parallel.messages_sent(), serial.messages_sent()) << family;
+  }
+}
+
+TEST(ParallelEngine, EnforcesOneMessagePerEdgePerRound) {
+  const Graph g = graph::path(2);
+  ParallelEngine engine(g, {.threads = 2});
+  EXPECT_THROW(
+      engine.run_rounds(1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+                               Mailbox& mbox) {
+        if (v == 0) {
+          mbox.send(1, {.a = 1});
+          mbox.send(1, {.a = 2});  // second message on the same edge: illegal
+        }
+      }),
+      std::logic_error);
+}
+
+TEST(ParallelEngine, DetectsViolationsOnEveryWorker) {
+  // Every vertex double-sends concurrently; whichever worker trips first,
+  // the engine must drain cleanly and surface a logic_error.
+  const Graph g = graph::make_workload("cycle", 64, 1);
+  for (const unsigned threads : {2u, 8u}) {
+    ParallelEngine engine(g, {.threads = threads});
+    EXPECT_THROW(engine.run_rounds(
+                     2,
+                     [&](Vertex v, std::uint64_t, std::span<const Message>,
+                         Mailbox& mbox) {
+                       const Vertex u = g.neighbors(v).front();
+                       mbox.send(u, {.a = v});
+                       mbox.send(u, {.a = v});
+                     }),
+                 std::logic_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, SendToNonNeighborThrows) {
+  const Graph g = graph::path(3);  // 0-1-2; 0 and 2 not adjacent
+  ParallelEngine engine(g, {.threads = 3});
+  EXPECT_THROW(
+      engine.run_rounds(1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+                               Mailbox& mbox) {
+        if (v == 0) mbox.send(2, {.a = 1});
+      }),
+      std::invalid_argument);
+}
+
+TEST(ParallelEngine, BothDirectionsAllowedInOneRound) {
+  const Graph g = graph::path(2);
+  ParallelEngine engine(g, {.threads = 2});
+  EXPECT_NO_THROW(engine.run_rounds(
+      1, [&](Vertex v, std::uint64_t, std::span<const Message>, Mailbox& mbox) {
+        mbox.send(v == 0 ? 1 : 0, {.a = 1});
+      }));
+  EXPECT_EQ(engine.messages_sent(), 2u);
+}
+
+TEST(ParallelEngine, InboxSortedBySender) {
+  const Graph g = graph::star(9);  // center 0
+  ParallelEngine engine(g, {.threads = 4});
+  std::vector<Vertex> order;
+  engine.run_rounds(2, [&](Vertex v, std::uint64_t round,
+                           std::span<const Message> inbox, Mailbox& mbox) {
+    if (round == 0 && v != 0) mbox.send(0, {.a = v});
+    if (v == 0) {
+      for (const auto& m : inbox) order.push_back(m.src);
+    }
+  });
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelEngine, QuiescenceStopsEarly) {
+  const Graph g = graph::path(4);
+  ParallelEngine engine(g, {.threads = 2});
+  const auto rounds = engine.run_until_quiescent(
+      [&](Vertex v, std::uint64_t round, std::span<const Message>,
+          Mailbox& mbox) {
+        if (round == 0 && v == 0) mbox.send(1, {.a = 1});
+      },
+      [] { return true; }, 100);
+  EXPECT_LT(rounds, 100u);
+
+  Engine serial(g);
+  const auto serial_rounds = serial.run_until_quiescent(
+      [&](Vertex v, std::uint64_t round, std::span<const Message>,
+          Mailbox& mbox) {
+        if (round == 0 && v == 0) mbox.send(1, {.a = 1});
+      },
+      [] { return true; }, 100);
+  EXPECT_EQ(rounds, serial_rounds);
+}
+
+TEST(ParallelEngine, LedgerChargesMatchSerial) {
+  const Graph g = graph::make_workload("grid", 100, 3);
+  const auto factory = testing_support::min_id_program_factory();
+
+  Ledger serial_ledger;
+  std::vector<std::uint64_t> s1;
+  Engine serial(g, &serial_ledger);
+  serial.run_rounds(12, factory(g, s1));
+
+  Ledger parallel_ledger;
+  std::vector<std::uint64_t> s2;
+  ParallelEngine parallel(g, {.threads = 8}, &parallel_ledger);
+  parallel.run_rounds(12, factory(g, s2));
+
+  EXPECT_EQ(parallel_ledger.rounds(), serial_ledger.rounds());
+  EXPECT_EQ(parallel_ledger.messages(), serial_ledger.messages());
+}
+
+TEST(ParallelEngine, ThreadCountClampedToVertices) {
+  const Graph g = graph::path(3);
+  ParallelEngine engine(g, {.threads = 64});
+  EXPECT_LE(engine.threads(), 3u);
+  std::vector<int> seen(3, 0);
+  engine.run_rounds(1, [&](Vertex v, std::uint64_t, std::span<const Message>,
+                           Mailbox&) { seen[v] = 1; });
+  EXPECT_EQ(seen, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelEngine, ZeroRoundsAndEmptyGraph) {
+  const Graph g = graph::path(4);
+  ParallelEngine engine(g, {.threads = 2});
+  const auto program = [](Vertex, std::uint64_t, std::span<const Message>,
+                          Mailbox&) {};
+  EXPECT_EQ(engine.run_rounds(0, program), 0u);
+
+  const Graph empty = Graph::from_edges(0, {});
+  ParallelEngine empty_engine(empty, {.threads = 2});
+  EXPECT_EQ(empty_engine.run_rounds(3, program), 3u);
+}
+
+TEST(ParallelEngine, BandwidthGuardResetsBetweenRuns) {
+  // A program that legally sends in round 1 must not trip the guard on a
+  // second run of the same engine (round numbering restarts per run).
+  const auto program = [](Vertex v, std::uint64_t round,
+                          std::span<const Message>, Mailbox& mbox) {
+    if (v == 0 && round == 1) mbox.send(1, {.a = 1});
+  };
+  const Graph g = graph::path(2);
+  ParallelEngine parallel(g, {.threads = 2});
+  EXPECT_NO_THROW(parallel.run_rounds(2, program));
+  EXPECT_NO_THROW(parallel.run_rounds(2, program));
+
+  Engine serial(g);
+  EXPECT_NO_THROW(serial.run_rounds(2, program));
+  EXPECT_NO_THROW(serial.run_rounds(2, program));
+}
+
+TEST(ParallelEngine, ViolationDetectionSurvivesReuse) {
+  // After a violation, the same engine object must still run clean programs.
+  const Graph g = graph::path(2);
+  ParallelEngine engine(g, {.threads = 2});
+  EXPECT_THROW(engine.run_rounds(
+                   1,
+                   [&](Vertex v, std::uint64_t, std::span<const Message>,
+                       Mailbox& mbox) {
+                     if (v == 0) {
+                       mbox.send(1, {.a = 1});
+                       mbox.send(1, {.a = 2});
+                     }
+                   }),
+               std::logic_error);
+  EXPECT_NO_THROW(engine.run_rounds(
+      2, [](Vertex, std::uint64_t, std::span<const Message>, Mailbox&) {}));
+}
+
+}  // namespace
