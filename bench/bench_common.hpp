@@ -11,8 +11,36 @@
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "verify/stretch.hpp"
 
 namespace nas::bench {
+
+/// Shared --verify / --verify-threads flags of the scaling benches: sampled
+/// stretch verification with `sources` BFS sources (0 = off), sharded over
+/// `threads` workers (0 = hardware concurrency).
+struct VerifyFlags {
+  std::uint32_t sources = 0;
+  unsigned threads = 0;
+};
+
+inline VerifyFlags read_verify_flags(const util::Flags& flags) {
+  return {static_cast<std::uint32_t>(flags.integer("verify", 0)),
+          static_cast<unsigned>(flags.integer("verify-threads", 0))};
+}
+
+/// Verifies one bench row's spanner against the (mult, add) guarantee when
+/// enabled; prints a status line and returns false iff the bound is
+/// violated (no-op returning true when vf.sources == 0).
+inline bool verify_row(const graph::Graph& g, const graph::Graph& h,
+                       double mult, double add, const VerifyFlags& vf) {
+  if (vf.sources == 0) return true;
+  const auto rep = verify::verify_stretch_sampled(g, h, mult, add, vf.sources,
+                                                  1, vf.threads);
+  std::cout << "  verify n=" << g.num_vertices() << ": " << rep.pairs_checked
+            << " pairs, max mult " << util::Table::num(rep.max_multiplicative)
+            << " -> " << (rep.bound_ok ? "OK" : "BOUND VIOLATED") << "\n";
+  return rep.bound_ok;
+}
 
 /// Prints the standard experiment banner.
 inline void banner(const std::string& id, const std::string& what) {

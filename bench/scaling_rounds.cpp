@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       congest::parse_substrate(flags.str("substrate", "serial"));
   build_options.substrate.threads =
       static_cast<unsigned>(flags.integer("threads", 0));
+  const auto vf = bench::read_verify_flags(flags);
   flags.reject_unknown();
 
   bench::banner("S1", "round complexity scaling: rounds vs n");
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   util::CsvWriter csv(csv_path, {"n", "m", "rounds", "bound", "wall_ms"});
   util::Table t({"n", "m", "rounds (simulated)", "beta*n^rho/rho bound",
                  "rounds/n^rho", "slope vs prev", "wall ms"});
+  bool verify_failed = false;
 
   double prev_n = 0, prev_rounds = 0;
   for (graph::Vertex n = 512; n <= max_n; n *= 2) {
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
     csv.row({std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
              util::Table::num(static_cast<std::uint64_t>(rounds)),
              util::Table::sci(bound, 6), util::Table::num(wall, 1)});
+    if (!bench::verify_row(g, result.spanner, params.stretch_multiplicative(),
+                           params.stretch_additive(), vf)) {
+      verify_failed = true;
+    }
     prev_n = g.num_vertices();
     prev_rounds = rounds;
   }
@@ -78,5 +84,5 @@ int main(int argc, char** argv) {
             << " (the schedule's n^rho deg caps and ruling-set n^{1/c} factor\n"
             << "dominate), far below the [Elk05] slope 1+1/(2k)="
             << 1.0 + 1.0 / (2 * kappa) << ".\n";
-  return 0;
+  return verify_failed ? 1 : 0;
 }

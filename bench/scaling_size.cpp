@@ -23,10 +23,12 @@ int main(int argc, char** argv) {
       congest::parse_substrate(flags.str("substrate", "serial"));
   build_options.substrate.threads =
       static_cast<unsigned>(flags.integer("threads", 0));
+  const auto vf = bench::read_verify_flags(flags);
   flags.reject_unknown();
 
   bench::banner("S2", "spanner size scaling: |H| vs n and vs kappa");
   util::CsvWriter csv(csv_path, {"kappa", "n", "m", "edges", "normalized"});
+  bool verify_failed = false;
 
   for (const int kappa : {3, 4, 8}) {
     if (rho < 1.0 / kappa || kappa * rho < 1.0) continue;
@@ -59,6 +61,11 @@ int main(int argc, char** argv) {
                std::to_string(g.num_edges()),
                std::to_string(result.spanner.num_edges()),
                util::Table::num(norm, 4)});
+      if (!bench::verify_row(g, result.spanner,
+                             params.stretch_multiplicative(),
+                             params.stretch_additive(), vf)) {
+        verify_failed = true;
+      }
       prev_n = g.num_vertices();
       prev_edges = edges;
     }
@@ -68,5 +75,5 @@ int main(int argc, char** argv) {
   std::cout << "shape checks: slope stays near (often below) 1+1/kappa and\n"
             << "the normalized column stays O(beta); larger kappa gives\n"
             << "sparser spanners, as the tradeoff requires.\n";
-  return 0;
+  return verify_failed ? 1 : 0;
 }

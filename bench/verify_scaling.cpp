@@ -1,0 +1,144 @@
+// Experiment V1 — verification pipeline scaling: wall-clock of the
+// source-sharded stretch verifier vs worker threads on one fixed graph.
+//
+// The stretch verifier is the dominant cost of every validated run (2n BFS
+// passes for the exact oracle), so this bench tracks the speedup of the
+// sharded path over the serial baseline and re-checks, at every thread
+// count, that the merged StretchReport is bit-identical to the serial one.
+// Verification cost is independent of the spanner's content (always two BFS
+// per source), so H = G keeps the bench about verifier throughput only.
+//
+//   ./verify_scaling [--family er] [--n 50000] [--seed 1]
+//       [--sources 0]            # 0 = exact (all n sources), k = sampled
+//       [--threads 1,2,4,8]      # comma-separated worker counts; first is
+//                                # the speedup baseline
+//       [--json BENCH_verify.json]  # machine-readable perf rows
+//       [--csv out.csv]
+//
+// The JSON file holds one row per thread count so the perf trajectory across
+// PRs has datapoints: bench/family/n/m/mode/threads/wall_ms/speedup/...
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "verify/stretch.hpp"
+
+using namespace nas;
+
+namespace {
+
+std::vector<unsigned> parse_thread_list(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(static_cast<unsigned>(std::stoul(item)));
+  }
+  if (out.empty()) throw std::invalid_argument("empty --threads list");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string family = flags.str("family", "er");
+  const auto n = static_cast<graph::Vertex>(flags.integer("n", 50000));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 1));
+  const auto sources = static_cast<std::uint32_t>(flags.integer("sources", 0));
+  auto thread_list = parse_thread_list(flags.str("threads", "1,2,4,8"));
+  const std::string json_path = flags.str("json", "BENCH_verify.json");
+  const std::string csv_path = flags.str("csv", "");
+  flags.reject_unknown();
+
+  bench::banner("V1", "verification pipeline scaling: wall-clock vs threads");
+  const auto g = graph::make_workload(family, n, seed);
+  const std::string mode = sources == 0 ? "exact" : "sampled";
+  const std::uint32_t num_sources = sources == 0 ? g.num_vertices() : sources;
+  std::cout << "family=" << family << " " << g.summary() << " mode=" << mode
+            << " (" << num_sources << " BFS sources)\n\n";
+  // Resolve each requested count the way the verifier itself will (0 = all
+  // cores, clamped to the source count), so the table, efficiency column,
+  // and JSON rows record the worker count actually used.
+  for (unsigned& threads : thread_list) {
+    threads = util::ThreadPool::resolve(threads, num_sources);
+  }
+
+  const auto run_once = [&](unsigned threads) {
+    return sources == 0
+               ? verify::verify_stretch_exact(g, g, 1.0, 0.0, threads)
+               : verify::verify_stretch_sampled(g, g, 1.0, 0.0, sources, 1,
+                                                threads);
+  };
+
+  util::CsvWriter csv(csv_path, {"threads", "wall_ms", "speedup", "identical"});
+  util::Table t({"threads", "wall ms", "speedup", "efficiency %", "identical"});
+  struct Row {
+    unsigned threads;
+    double wall_ms;
+    double speedup;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  verify::StretchReport reference;
+  std::uint64_t pairs = 0;
+  bool all_identical = true;
+  double baseline_ms = 0.0;
+  for (std::size_t i = 0; i < thread_list.size(); ++i) {
+    const unsigned threads = thread_list[i];
+    util::Timer timer;
+    const auto rep = run_once(threads);
+    const double wall = timer.millis();
+    if (i == 0) {
+      reference = rep;
+      baseline_ms = wall;
+      pairs = rep.pairs_checked;
+    }
+    const bool identical = verify::bit_identical(rep, reference);
+    all_identical = all_identical && identical;
+    const double speedup = wall > 0.0 ? baseline_ms / wall : 0.0;
+    rows.push_back({threads, wall, speedup, identical});
+    t.add_row({std::to_string(threads), util::Table::num(wall, 1),
+               util::Table::num(speedup), util::Table::num(100.0 * speedup /
+                                                           threads),
+               identical ? "yes" : "NO"});
+    csv.row({std::to_string(threads), util::Table::num(wall, 3),
+             util::Table::num(speedup, 3), identical ? "1" : "0"});
+  }
+  t.print(std::cout);
+  std::cout << "\n" << pairs << " pairs checked per run; baseline is the "
+            << "first --threads entry (" << thread_list.front() << ").\n";
+  if (!all_identical) {
+    std::cout << "ERROR: a sharded report diverged from the baseline.\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "error: cannot open " << json_path << "\n";
+      return 2;
+    }
+    json << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      json << "  {\"bench\": \"verify_scaling\", \"family\": \"" << family
+           << "\", \"n\": " << g.num_vertices() << ", \"m\": " << g.num_edges()
+           << ", \"mode\": \"" << mode << "\", \"threads\": " << r.threads
+           << ", \"wall_ms\": " << util::Table::num(r.wall_ms, 3)
+           << ", \"speedup\": " << util::Table::num(r.speedup, 3)
+           << ", \"pairs_checked\": " << pairs
+           << ", \"identical_to_baseline\": " << (r.identical ? "true" : "false")
+           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "]\n";
+    std::cout << "wrote " << rows.size() << " rows to " << json_path << "\n";
+  }
+  return all_identical ? 0 : 1;
+}

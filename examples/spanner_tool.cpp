@@ -3,7 +3,9 @@
 //
 //   ./spanner_tool --in graph.txt --out spanner.txt
 //       [--eps 0.25] [--kappa 3] [--rho 0.4] [--mode practical|paper]
-//       [--verify 32]   # sampled stretch verification with k sources
+//       [--verify 32]          # sampled stretch verification with k sources
+//       [--verify-threads 0]   # verification worker shards; 0 = all cores
+//                              # (the report is identical at any count)
 //
 // Input format: "n m" header line, then one "u v" pair per line ('#'
 // comments allowed).  Exit code 0 iff construction (and verification, if
@@ -28,12 +30,14 @@ int main(int argc, char** argv) {
     const std::string mode = flags.str("mode", "practical");
     const auto verify_sources =
         static_cast<std::uint32_t>(flags.integer("verify", 0));
+    const auto verify_threads =
+        static_cast<unsigned>(flags.integer("verify-threads", 0));
     flags.reject_unknown();
 
     if (in_path.empty()) {
       std::cerr << "usage: spanner_tool --in graph.txt [--out spanner.txt]\n"
                    "       [--eps E] [--kappa K] [--rho R] [--mode practical|paper]\n"
-                   "       [--verify NUM_SOURCES]\n";
+                   "       [--verify NUM_SOURCES] [--verify-threads T]\n";
       return 2;
     }
 
@@ -68,7 +72,7 @@ int main(int argc, char** argv) {
     if (verify_sources > 0) {
       const auto rep = verify::verify_stretch_sampled(
           g, result.spanner, params.stretch_multiplicative(),
-          params.stretch_additive(), verify_sources, 1);
+          params.stretch_additive(), verify_sources, 1, verify_threads);
       std::cout << "verification (" << rep.pairs_checked
                 << " pairs): max mult " << util::Table::num(rep.max_multiplicative)
                 << ", max additive " << rep.max_additive << " -> "

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
 namespace nas::congest {
 
@@ -40,18 +39,12 @@ class ParallelEngine::WorkerMailbox final : public congest::Mailbox {
 };
 
 ParallelEngine::ParallelEngine(const Graph& g, Options options, Ledger* ledger)
-    : g_(&g), ledger_(ledger), dir_index_(g) {
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  threads_ = options.threads == 0 ? hw : options.threads;
-  // No point in more workers than vertices (and block_begin needs n >= T to
-  // hand every worker a distinct range; empty ranges are fine, n == 0 is not).
-  if (g.num_vertices() > 0) {
-    threads_ = static_cast<unsigned>(std::min<std::uint64_t>(
-        threads_, g.num_vertices()));
-  } else {
-    threads_ = 1;
-  }
-
+    // No point in more workers than vertices (and block_begin needs n >= T to
+    // hand every worker a distinct range; empty ranges are fine, n == 0 is
+    // not) — exactly ThreadPool::resolve's clamp.
+    : g_(&g), ledger_(ledger),
+      threads_(util::ThreadPool::resolve(options.threads, g.num_vertices())),
+      pool_(threads_), dir_index_(g) {
   const Vertex n = g.num_vertices();
   inbox_.resize(n);
   edge_used_round_.assign(dir_index_.size(), static_cast<std::uint64_t>(-1));
@@ -190,13 +183,10 @@ std::uint64_t ParallelEngine::run(const NodeProgram& program,
   aborted_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads_ - 1);
-  for (unsigned w = 1; w < threads_; ++w) {
-    pool.emplace_back([this, w, &program] { worker_loop(w, program); });
-  }
-  worker_loop(0, program);
-  for (auto& t : pool) t.join();
+  // The persistent pool runs one barrier-stepped worker loop per slot; the
+  // calling thread is slot 0, exactly as when the engine spawned threads
+  // itself, but without per-run() spawn/join cost.
+  pool_.run(threads_, [this, &program](unsigned w) { worker_loop(w, program); });
 
   if (first_error_) std::rethrow_exception(first_error_);
   return rounds_executed_;

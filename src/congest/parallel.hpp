@@ -43,6 +43,7 @@
 #include "congest/engine.hpp"
 #include "congest/ledger.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nas::congest {
 
@@ -118,9 +119,11 @@ class ParallelEngine {
   void end_of_round();  // barrier completion: aggregate, charge, decide stop
   void record_exception() noexcept;
 
+  /// Vertex ownership follows the canonical shard partition, so the
+  /// engine's blocks and every other sharded consumer stay in lockstep.
   [[nodiscard]] graph::Vertex block_begin(unsigned w) const {
     return static_cast<graph::Vertex>(
-        static_cast<std::uint64_t>(g_->num_vertices()) * w / threads_);
+        util::ThreadPool::shard(g_->num_vertices(), threads_, w).first);
   }
 
   std::vector<unsigned> owner_;  // owner_[v]: worker whose block holds v
@@ -128,6 +131,7 @@ class ParallelEngine {
   const graph::Graph* g_;
   Ledger* ledger_;
   unsigned threads_ = 1;
+  util::ThreadPool pool_;  // persistent workers reused across run() calls
 
   std::vector<std::vector<Message>> inbox_;
   std::vector<std::uint64_t> edge_used_round_;  // per directed-edge slot

@@ -1,22 +1,33 @@
 #include "graph/apsp.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/bfs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nas::graph {
 
-Apsp::Apsp(const Graph& g, Vertex max_n) : n_(g.num_vertices()) {
+Apsp::Apsp(const Graph& g, Vertex max_n, unsigned threads)
+    : n_(g.num_vertices()) {
   if (n_ > max_n) {
     throw std::invalid_argument("Apsp: graph too large for the exact oracle");
   }
   dist_.resize(static_cast<std::size_t>(n_) * n_);
-  for (Vertex s = 0; s < n_; ++s) {
-    const auto res = bfs(g, s);
-    std::copy(res.dist.begin(), res.dist.end(),
-              dist_.begin() + static_cast<std::size_t>(s) * n_);
-  }
+  // Each source owns one disjoint row of the table, so sharding sources
+  // across workers is race-free; bfs_into writes rows in place with
+  // per-shard scratch, so the whole build allocates O(threads · n).
+  util::ThreadPool::run_sharded(
+      n_, threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<Vertex> frontier;
+        for (std::size_t s = begin; s < end; ++s) {
+          bfs_into(g, static_cast<Vertex>(s),
+                   std::span<std::uint32_t>(dist_.data() + s * n_, n_),
+                   frontier);
+        }
+      });
 }
 
 std::uint32_t Apsp::max_finite_distance() const {

@@ -14,7 +14,10 @@ class Apsp {
  public:
   /// Computes all-pairs distances.  Throws std::invalid_argument if n
   /// exceeds `max_n` (a guard against multi-GB allocations in scripts).
-  explicit Apsp(const Graph& g, Vertex max_n = 20000);
+  /// `threads` shards the BFS sources across a worker pool (0 = hardware
+  /// concurrency); rows are disjoint so the table is identical — BFS
+  /// distances are exact — for every thread count.
+  explicit Apsp(const Graph& g, Vertex max_n = 20000, unsigned threads = 1);
 
   [[nodiscard]] std::uint32_t dist(Vertex u, Vertex v) const {
     return dist_[static_cast<std::size_t>(u) * n_ + v];

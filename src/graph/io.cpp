@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -23,21 +24,43 @@ Graph read_edge_list(std::istream& in) {
   std::size_t m = 0;
   bool have_header = false;
   std::vector<Edge> edges;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("read_edge_list: " + what + " at line " +
+                             std::to_string(line_no));
+  };
   while (std::getline(in, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
     std::istringstream ls(line);
+    std::string trailing;
     if (!have_header) {
-      if (ls >> n >> m) {
-        have_header = true;
-        edges.reserve(m);
-      }
+      if (!(ls >> n >> m)) fail("malformed header (expected 'n m')");
+      if (ls >> trailing) fail("trailing token '" + trailing + "' in header");
+      have_header = true;
+      // Don't trust a possibly-corrupt m for the up-front reservation: a
+      // bogus header must fail via the line-numbered mismatch checks below,
+      // not with std::bad_alloc on a multi-TB reserve.
+      edges.reserve(std::min<std::size_t>(m, std::size_t{1} << 20));
       continue;
     }
     Vertex u, v;
-    if (ls >> u >> v) edges.emplace_back(u, v);
+    if (!(ls >> u >> v)) fail("malformed edge line (expected 'u v')");
+    if (ls >> trailing) fail("trailing token '" + trailing + "' in edge line");
+    if (edges.size() == m) {
+      fail("more edge lines than the declared m=" + std::to_string(m));
+    }
+    edges.emplace_back(u, v);
   }
   if (!have_header) throw std::runtime_error("read_edge_list: missing header");
+  if (edges.size() != m) {
+    throw std::runtime_error(
+        "read_edge_list: header declares m=" + std::to_string(m) +
+        " edges but the file contains " + std::to_string(edges.size()) +
+        " (after line " + std::to_string(line_no) + ")");
+  }
   return Graph::from_edges(n, edges);
 }
 

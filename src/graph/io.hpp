@@ -1,4 +1,9 @@
 // Edge-list I/O: "n m" header followed by "u v" lines; '#' comments allowed.
+//
+// Reading is strict: any non-empty line (after stripping comments) that does
+// not parse as the header or an edge, any trailing tokens, and any mismatch
+// between the declared edge count m and the number of edge lines raise
+// std::runtime_error with the offending line number.
 #pragma once
 
 #include <iosfwd>

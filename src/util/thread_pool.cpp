@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::util {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0
+                   ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned slot = 1; slot < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+void ThreadPool::run_sharded(
+    std::size_t total, unsigned threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const unsigned shards = resolve(threads, total);
+  ThreadPool pool(shards);  // shards == 1 spawns nothing: fn runs inline
+  pool.run(shards, [&](unsigned w) {
+    const auto [begin, end] = shard(total, shards, w);
+    fn(begin, end);
+  });
+}
+
+unsigned ThreadPool::resolve(unsigned requested, std::size_t items) {
+  const unsigned threads =
+      requested == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                     : requested;
+  return static_cast<unsigned>(std::min<std::uint64_t>(
+      threads, std::max<std::size_t>(items, 1)));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_slot(unsigned slot) noexcept {
+  try {
+    (*job_)(slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_main(unsigned slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    unsigned active = 0;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      active = active_count_;
+    }
+    if (slot < active) {
+      run_slot(slot);
+      std::lock_guard<std::mutex> lock(m_);
+      if (++done_ == active - 1) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(unsigned count, const std::function<void(unsigned)>& job) {
+  if (count == 0) return;
+  if (count > threads_) {
+    throw std::invalid_argument("ThreadPool::run: count exceeds pool size");
+  }
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    job_ = &job;
+    active_count_ = count;
+    done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  if (count > 1) cv_start_.notify_all();
+  run_slot(0);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return done_ == active_count_ - 1; });
+    err = std::exchange(first_error_, nullptr);
+    job_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace nas::util

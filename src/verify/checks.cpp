@@ -1,6 +1,8 @@
 #include "verify/checks.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace nas::verify {
 
@@ -15,6 +17,12 @@ bool is_subgraph(const Graph& g, const Graph& h) {
 }
 
 SizeReport size_report(const Graph& g, const Graph& h, double beta, int kappa) {
+  if (kappa <= 0) {
+    // 1/kappa below would divide by zero (or flip the exponent's sign) and
+    // poison every bound with inf/NaN; the paper requires kappa >= 1 anyway.
+    throw std::invalid_argument("size_report: kappa must be >= 1, got " +
+                                std::to_string(kappa));
+  }
   SizeReport rep;
   rep.spanner_edges = h.num_edges();
   rep.input_edges = g.num_edges();

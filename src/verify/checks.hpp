@@ -11,7 +11,9 @@ namespace nas::verify {
 /// subgraph of its input).
 [[nodiscard]] bool is_subgraph(const graph::Graph& g, const graph::Graph& h);
 
-/// Size report against the paper's O(β·n^{1+1/κ}) bound.
+/// Size report against the paper's O(β·n^{1+1/κ}) bound.  Throws
+/// std::invalid_argument when kappa < 1 (1/κ would otherwise divide by zero
+/// or flip sign and return inf/NaN bounds).
 struct SizeReport {
   std::size_t spanner_edges = 0;
   std::size_t input_edges = 0;

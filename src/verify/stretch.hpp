@@ -4,6 +4,14 @@
 // `verify_stretch_exact` checks every pair (O(n·m) BFS work) and is the
 // test-suite oracle; `verify_stretch_sampled` BFS-es from a deterministic
 // sample of sources and is used at bench scale.
+//
+// Both verifiers are source-sharded: with `threads` > 1 the BFS sources are
+// split into contiguous blocks processed on a worker pool, and the
+// per-source partial reports are merged afterwards in fixed source order.
+// Because every per-source partial is computed identically regardless of
+// which worker runs it, and the merge order never depends on the thread
+// count, the returned StretchReport is bit-identical to the serial
+// (threads == 1) result for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -13,34 +21,53 @@
 namespace nas::verify {
 
 struct StretchReport {
-  bool bound_ok = true;          ///< d_H ≤ M·d_G + A everywhere checked
+  /// False iff some checked pair violates d_H ≤ M·d_G + A beyond a 1e-9
+  /// float tolerance, or connectivity_ok is false.
+  bool bound_ok = true;
   bool connectivity_ok = true;   ///< d_H finite wherever d_G is finite
   std::uint64_t pairs_checked = 0;
 
   double max_multiplicative = 1.0;  ///< max d_H/d_G over checked pairs (d_G>0)
   double mean_multiplicative = 1.0;
   std::uint64_t max_additive = 0;   ///< max (d_H − d_G)
-  double max_excess = 0.0;          ///< max (d_H − M·d_G); ≤ A iff bound_ok
+  double max_excess = 0.0;          ///< max(0, max (d_H − M·d_G))
 
-  // Witness of the worst additive-excess pair.
+  // Witness of the worst additive-excess pair.  Contract: set iff some
+  // checked pair has strictly positive excess d_H − M·d_G (equivalently,
+  // max_excess > 0); otherwise all four keep their sentinel values
+  // (kInvalidVertex / 0).  Ties are broken deterministically towards the
+  // first pair in verification order — smallest source u, then smallest v —
+  // so the witness does not depend on the thread count.
   graph::Vertex worst_u = graph::kInvalidVertex;
   graph::Vertex worst_v = graph::kInvalidVertex;
   std::uint32_t worst_dg = 0;
   std::uint32_t worst_dh = 0;
 };
 
+/// Field-by-field bit equality of two reports, doubles compared by bit
+/// pattern (so -0.0 vs 0.0 or differently-rounded sums count as
+/// divergence).  The single authoritative comparison behind the
+/// determinism tests and bench/verify_scaling — keep it in sync with
+/// StretchReport's fields.
+[[nodiscard]] bool bit_identical(const StretchReport& a,
+                                 const StretchReport& b);
+
 /// Exhaustive check over all connected pairs.  Throws std::invalid_argument
-/// if the graphs have different vertex counts.
+/// if the graphs have different vertex counts.  `threads` shards the BFS
+/// sources across a worker pool (0 = hardware concurrency); the report is
+/// bit-identical for every thread count.
 [[nodiscard]] StretchReport verify_stretch_exact(const graph::Graph& g,
                                                  const graph::Graph& h,
-                                                 double m, double a);
+                                                 double m, double a,
+                                                 unsigned threads = 1);
 
 /// Checks all pairs (s, v) for `num_sources` deterministically chosen
-/// sources s (seeded).
+/// sources s (seeded).  `threads` as in verify_stretch_exact.
 [[nodiscard]] StretchReport verify_stretch_sampled(const graph::Graph& g,
                                                    const graph::Graph& h,
                                                    double m, double a,
                                                    std::uint32_t num_sources,
-                                                   std::uint64_t seed);
+                                                   std::uint64_t seed,
+                                                   unsigned threads = 1);
 
 }  // namespace nas::verify

@@ -1,15 +1,20 @@
-// Unit tests for src/util: deterministic RNG, tables, CSV, flags.
+// Unit tests for src/util: deterministic RNG, tables, CSV, flags, pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -152,6 +157,66 @@ TEST(Flags, RejectUnknownThrowsOnTypos) {
 TEST(Flags, PositionalArgumentRejected) {
   const char* argv[] = {"prog", "stray"};
   EXPECT_THROW(Flags(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEverySlotExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run(4, [&](unsigned slot) { ++hits[slot]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRunsAndPartialCounts) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    const unsigned count = 1 + static_cast<unsigned>(round % 4);
+    pool.run(count, [&](unsigned) { ++total; });
+  }
+  // Rounds of 1+2+3+4 slots, repeated 50/4 times plus remainder 1+2.
+  EXPECT_EQ(total.load(), 50 / 4 * 10 + 1 + 2);
+}
+
+TEST(ThreadPool, ShardsCoverRangeInOrder) {
+  for (unsigned shards : {1u, 3u, 8u}) {
+    std::size_t expect_begin = 0;
+    for (unsigned i = 0; i < shards; ++i) {
+      const auto [begin, end] = ThreadPool::shard(10, shards, i);
+      EXPECT_EQ(begin, expect_begin);
+      EXPECT_LE(begin, end);
+      expect_begin = end;
+    }
+    EXPECT_EQ(expect_begin, 10u);
+  }
+  const auto [b, e] = ThreadPool::shard(2, 8, 5);  // more shards than items
+  EXPECT_LE(b, e);
+}
+
+TEST(ThreadPool, SlotExceptionIsRethrownOnCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run(3,
+                        [](unsigned slot) {
+                          if (slot == 2) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing run.
+  std::atomic<int> total{0};
+  pool.run(3, [&](unsigned) { ++total; });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, CountBeyondPoolSizeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(3, [](unsigned) {}), std::invalid_argument);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> total{0};
+  pool.run(pool.size(), [&](unsigned) { ++total; });
+  EXPECT_EQ(total.load(), static_cast<int>(pool.size()));
 }
 
 }  // namespace

@@ -81,6 +81,13 @@ TEST(Checks, IsSubgraph) {
   EXPECT_FALSE(verify::is_subgraph(g, graph::path(4)));  // size mismatch
 }
 
+TEST(Checks, SizeReportRejectsNonPositiveKappa) {
+  const Graph g = graph::complete(10);
+  const Graph h = graph::star(10);
+  EXPECT_THROW((void)verify::size_report(g, h, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)verify::size_report(g, h, 2.0, -3), std::invalid_argument);
+}
+
 TEST(Checks, SizeReport) {
   const Graph g = graph::complete(10);
   const Graph h = graph::star(10);
