@@ -12,9 +12,11 @@ using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1000));
-  const std::string family = flags.str("family", "er");
-  const std::string csv_path = flags.str("csv", "");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1000, "target vertex count"));
+  const std::string family = flags.str("family", "er", "workload family");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help("alg1_popularity — A1: Algorithm 1 contract")) return 0;
   flags.reject_unknown();
 
   bench::banner("A1", "Algorithm 1 (popular cluster detection) contract");

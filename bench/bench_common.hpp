@@ -1,45 +1,33 @@
 // Shared helpers for the reproduction bench binaries.
+//
+// Experiment execution (generate/build/measure/verify/emit) lives in
+// src/run — benches construct a ScenarioMatrix, call run::Runner, and
+// post-process the rows.  What remains here is presentation: the banner and
+// the log-log slope the scaling benches report against theory.
 #pragma once
 
 #include <cmath>
-#include <cstdint>
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "graph/generators.hpp"
+#include "run/runner.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
-#include "verify/stretch.hpp"
 
 namespace nas::bench {
 
-/// Shared --verify / --verify-threads flags of the scaling benches: sampled
-/// stretch verification with `sources` BFS sources (0 = off), sharded over
-/// `threads` workers (0 = hardware concurrency).
-struct VerifyFlags {
-  std::uint32_t sources = 0;
-  unsigned threads = 0;
-};
-
-inline VerifyFlags read_verify_flags(const util::Flags& flags) {
-  return {static_cast<std::uint32_t>(flags.integer("verify", 0)),
-          static_cast<unsigned>(flags.integer("verify-threads", 0))};
-}
-
-/// Verifies one bench row's spanner against the (mult, add) guarantee when
-/// enabled; prints a status line and returns false iff the bound is
-/// violated (no-op returning true when vf.sources == 0).
-inline bool verify_row(const graph::Graph& g, const graph::Graph& h,
-                       double mult, double add, const VerifyFlags& vf) {
-  if (vf.sources == 0) return true;
-  const auto rep = verify::verify_stretch_sampled(g, h, mult, add, vf.sources,
-                                                  1, vf.threads);
-  std::cout << "  verify n=" << g.num_vertices() << ": " << rep.pairs_checked
-            << " pairs, max mult " << util::Table::num(rep.max_multiplicative)
-            << " -> " << (rep.bound_ok ? "OK" : "BOUND VIOLATED") << "\n";
-  return rep.bound_ok;
+/// Prints the per-row verification status line the scaling benches share;
+/// no-op for rows that did not verify.  Returns row.passed().
+inline bool print_verify_status(const run::ResultRow& row) {
+  if (row.verified) {
+    std::cout << "  verify n=" << row.n << ": " << row.report.pairs_checked
+              << " pairs, max mult "
+              << util::Table::num(row.report.max_multiplicative) << " -> "
+              << (row.report.bound_ok ? "OK" : "BOUND VIOLATED") << "\n";
+  }
+  return row.passed();
 }
 
 /// Prints the standard experiment banner.

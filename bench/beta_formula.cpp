@@ -16,7 +16,8 @@ using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const std::string csv_path = flags.str("csv", "");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help("beta_formula — E1: the additive term beta")) return 0;
   flags.reject_unknown();
 
   bench::banner("E1", "eq. (1)/(18): the additive term beta");

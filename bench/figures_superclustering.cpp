@@ -23,11 +23,16 @@ using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1200));
-  const double eps = flags.real("eps", 0.25);
-  const int kappa = static_cast<int>(flags.integer("kappa", 3));
-  const double rho = flags.real("rho", 0.4);
-  const std::string csv_path = flags.str("csv", "");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1200, "target vertex count"));
+  const double eps = flags.real("eps", 0.25, "epsilon");
+  const int kappa = static_cast<int>(flags.integer("kappa", 3, "kappa"));
+  const double rho = flags.real("rho", 0.4, "rho");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help(
+          "figures_superclustering — F1-F4: per-phase structure")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   bench::banner("F1-F4", "superclustering structure per phase (Figures 1-4)");

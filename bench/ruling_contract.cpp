@@ -11,9 +11,11 @@ using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1500));
-  const std::string family = flags.str("family", "er");
-  const std::string csv_path = flags.str("csv", "");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1500, "target vertex count"));
+  const std::string family = flags.str("family", "er", "workload family");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help("ruling_contract — A2: Theorem 2.2 contract")) return 0;
   flags.reject_unknown();
 
   bench::banner("A2", "deterministic ruling set (Theorem 2.2) contract");

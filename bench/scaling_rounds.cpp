@@ -4,85 +4,109 @@
 // Shape to check: log-log slope of rounds vs n close to (and no more than a
 // hair above) rho — i.e. genuinely low-polynomial, in contrast to [Elk05]'s
 // n^{1+1/(2kappa)} which has slope > 1.
+//
+// Thin wrapper over the scenario runner: the {n} sweep is a matrix, the
+// generate/build/verify loop is run::Runner, and this file only renders the
+// shape table against the theoretical bound.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/elkin_matar.hpp"
-#include "util/timer.hpp"
+#include "core/params.hpp"
+#include "run/runner.hpp"
+#include "run/sinks.hpp"
+#include "util/table.hpp"
 
 using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const double eps = flags.real("eps", 0.25);
-  const int kappa = static_cast<int>(flags.integer("kappa", 3));
-  const double rho = flags.real("rho", 0.4);
-  const auto max_n = static_cast<graph::Vertex>(flags.integer("max_n", 8192));
-  const std::string family = flags.str("family", "er");
-  const std::string csv_path = flags.str("csv", "");
+  run::ScenarioMatrix matrix;
+  matrix.seeds = {31};
+  const double eps = flags.real("eps", 0.25, "epsilon");
+  matrix.epss = {eps};
+  const int kappa = static_cast<int>(flags.integer("kappa", 3, "kappa"));
+  matrix.kappas = {kappa};
+  const double rho = flags.real("rho", 0.4, "rho");
+  matrix.rhos = {rho};
+  const auto max_n = static_cast<graph::Vertex>(
+      flags.integer("max_n", 8192, "largest n (doubling from 512)"));
+  const std::string family = flags.str("family", "er", "workload family");
+  matrix.families = {family};
+  const std::string csv_path =
+      flags.str("csv", "", "unified CSV rows output path");
+  const std::string json_path =
+      flags.str("json", "", "unified JSON rows output path");
   // Substrate selection for the engine-backed Algorithm 1 cross-check:
   // --crosscheck re-simulates every phase round-by-round, so large-n runs
   // should pick --substrate parallel (optionally --threads N).
-  const bool crosscheck = flags.boolean("crosscheck", false);
-  core::BuildOptions build_options{.validate = false};
-  build_options.cross_check_alg1 = crosscheck;
-  build_options.substrate.substrate =
-      congest::parse_substrate(flags.str("substrate", "serial"));
-  build_options.substrate.threads =
-      static_cast<unsigned>(flags.integer("threads", 0));
-  const auto vf = bench::read_verify_flags(flags);
+  matrix.crosscheck = flags.boolean(
+      "crosscheck", false, "re-simulate Algorithm 1 on the round engine");
+  matrix.substrate = flags.str("substrate", "serial",
+                               "cross-check substrate: serial|parallel|alpha");
+  matrix.build_threads = static_cast<unsigned>(
+      flags.integer("threads", 0, "parallel-substrate workers, 0 = all"));
+  matrix.verify_sources = static_cast<std::uint32_t>(
+      flags.integer("verify", 0, "sampled verification sources (0 = off)"));
+  matrix.verify_mode = matrix.verify_sources > 0 ? "sampled" : "off";
+  matrix.verify_threads = static_cast<unsigned>(
+      flags.integer("verify-threads", 0, "verifier shards, 0 = all cores"));
+  const auto run_threads = static_cast<unsigned>(
+      flags.integer("run-threads", 1, "concurrent scenarios, 0 = all cores"));
+  if (flags.handle_help("scaling_rounds — experiment S1: rounds vs n")) {
+    return 0;
+  }
   flags.reject_unknown();
+
+  matrix.ns.clear();
+  for (graph::Vertex n = 512; n <= max_n; n *= 2) matrix.ns.push_back(n);
 
   bench::banner("S1", "round complexity scaling: rounds vs n");
   std::cout << "family=" << family << " eps=" << eps << " kappa=" << kappa
             << " rho=" << rho;
-  if (crosscheck) {
-    std::cout << " crosscheck="
-              << congest::substrate_name(build_options.substrate.substrate);
-  }
+  if (matrix.crosscheck) std::cout << " crosscheck=" << matrix.substrate;
   std::cout << "\n\n";
 
-  util::CsvWriter csv(csv_path, {"n", "m", "rounds", "bound", "wall_ms"});
+  run::Runner runner;
+  run::RunOptions run_options;
+  run_options.threads = run_threads;
+  const auto rows = runner.run(matrix.expand(), run_options);
+
   util::Table t({"n", "m", "rounds (simulated)", "beta*n^rho/rho bound",
                  "rounds/n^rho", "slope vs prev", "wall ms"});
-  bool verify_failed = false;
-
+  bool failed = false;
   double prev_n = 0, prev_rounds = 0;
-  for (graph::Vertex n = 512; n <= max_n; n *= 2) {
-    const auto g = graph::make_workload(family, n, 31);
-    const auto params = core::Params::practical(g.num_vertices(), eps, kappa, rho);
-    util::Timer timer;
-    const auto result = core::build_spanner(g, params, build_options);
-    const double wall = timer.millis();
-    const auto rounds = static_cast<double>(result.ledger.rounds());
-    const double bound = params.beta_paper() *
-                         std::pow(static_cast<double>(g.num_vertices()), rho) /
-                         rho;
-    const double slope =
-        prev_n > 0 ? bench::loglog_slope(prev_n, prev_rounds,
-                                         g.num_vertices(), rounds)
-                   : 0.0;
-    t.add_row({std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
-               util::Table::num(static_cast<std::uint64_t>(rounds)),
-               util::Table::sci(bound),
-               util::Table::num(rounds / std::pow(g.num_vertices(), rho)),
-               prev_n > 0 ? util::Table::num(slope) : "-",
-               util::Table::num(wall)});
-    csv.row({std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
-             util::Table::num(static_cast<std::uint64_t>(rounds)),
-             util::Table::sci(bound, 6), util::Table::num(wall, 1)});
-    if (!bench::verify_row(g, result.spanner, params.stretch_multiplicative(),
-                           params.stretch_additive(), vf)) {
-      verify_failed = true;
+  for (const auto& row : rows) {
+    if (!row.ok) {
+      std::cout << row.spec.id() << ": error: " << row.error << "\n";
+      failed = true;
+      prev_n = 0;  // the next row's slope would span the gap; print "-"
+      continue;
     }
-    prev_n = g.num_vertices();
+    const auto rounds = static_cast<double>(row.rounds);
+    const double bound =
+        core::Params::practical(row.n, eps, kappa, rho).beta_paper() *
+        std::pow(static_cast<double>(row.n), rho) / rho;
+    const double slope =
+        prev_n > 0 ? bench::loglog_slope(prev_n, prev_rounds, row.n, rounds)
+                   : 0.0;
+    t.add_row({std::to_string(row.n), std::to_string(row.m),
+               util::Table::num(row.rounds), util::Table::sci(bound),
+               util::Table::num(rounds / std::pow(row.n, rho)),
+               prev_n > 0 ? util::Table::num(slope) : "-",
+               util::Table::num(row.build_wall_ms)});
+    if (!bench::print_verify_status(row)) failed = true;
+    prev_n = row.n;
     prev_rounds = rounds;
   }
   t.print(std::cout);
+
+  if (!csv_path.empty()) run::write_csv(rows, csv_path);
+  if (!json_path.empty()) run::write_json(rows, json_path);
+
   std::cout << "\nshape check: the slope column should sit near rho=" << rho
             << " (the schedule's n^rho deg caps and ruling-set n^{1/c} factor\n"
             << "dominate), far below the [Elk05] slope 1+1/(2k)="
             << 1.0 + 1.0 / (2 * kappa) << ".\n";
-  return verify_failed ? 1 : 0;
+  return failed ? 1 : 0;
 }

@@ -30,11 +30,15 @@ using namespace nas;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 900));
-  const double eps = flags.real("eps", 0.25);
-  const int kappa = static_cast<int>(flags.integer("kappa", 3));
-  const double rho = flags.real("rho", 0.4);
-  const std::string csv_path = flags.str("csv", "");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 900, "target vertex count"));
+  const double eps = flags.real("eps", 0.25, "epsilon");
+  const int kappa = static_cast<int>(flags.integer("kappa", 3, "kappa"));
+  const double rho = flags.real("rho", 0.4, "rho");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help("table2_survey — T2: algorithms head-to-head")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   bench::banner("T2", "Table 2: near-additive spanner algorithms, head-to-head");

@@ -6,139 +6,142 @@
 // sharded path over the serial baseline and re-checks, at every thread
 // count, that the merged StretchReport is bit-identical to the serial one.
 // Verification cost is independent of the spanner's content (always two BFS
-// per source), so H = G keeps the bench about verifier throughput only.
+// per source), so the "identity" algorithm (H = G) keeps the bench about
+// verifier throughput only.
 //
 //   ./verify_scaling [--family er] [--n 50000] [--seed 1]
 //       [--sources 0]            # 0 = exact (all n sources), k = sampled
 //       [--threads 1,2,4,8]      # comma-separated worker counts; first is
 //                                # the speedup baseline
-//       [--json BENCH_verify.json]  # machine-readable perf rows
+//       [--json BENCH_verify.json]  # unified rows + timing + speedup extras
 //       [--csv out.csv]
 //
-// The JSON file holds one row per thread count so the perf trajectory across
-// PRs has datapoints: bench/family/n/m/mode/threads/wall_ms/speedup/...
+// Thin wrapper over the scenario runner: the thread sweep is a vector of
+// specs differing only in verify_threads (the graph is built once through
+// the GraphCache), executed sequentially so the wall-clock per row is
+// honest; speedup and bit-identity are derived from the rows afterwards.
 #include <cstdint>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "run/runner.hpp"
+#include "run/sinks.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
-#include "verify/stretch.hpp"
 
 using namespace nas;
 
-namespace {
-
-std::vector<unsigned> parse_thread_list(const std::string& spec) {
-  std::vector<unsigned> out;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (item.empty()) continue;
-    out.push_back(static_cast<unsigned>(std::stoul(item)));
-  }
-  if (out.empty()) throw std::invalid_argument("empty --threads list");
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const std::string family = flags.str("family", "er");
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 50000));
-  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 1));
-  const auto sources = static_cast<std::uint32_t>(flags.integer("sources", 0));
-  auto thread_list = parse_thread_list(flags.str("threads", "1,2,4,8"));
-  const std::string json_path = flags.str("json", "BENCH_verify.json");
-  const std::string csv_path = flags.str("csv", "");
+  run::ScenarioSpec base;
+  base.family = flags.str("family", "er", "workload family");
+  base.n = static_cast<graph::Vertex>(
+      flags.integer("n", 50000, "target vertex count"));
+  base.seed = static_cast<std::uint64_t>(
+      flags.integer("seed", 1, "graph generator seed"));
+  const auto sources = static_cast<std::uint32_t>(flags.integer(
+      "sources", 0, "BFS sources: 0 = exact (all n), k = sampled"));
+  const std::string thread_spec =
+      flags.str("threads", "1,2,4,8",
+                "comma-separated verifier worker counts; first = baseline");
+  const std::string json_path =
+      flags.str("json", "BENCH_verify.json", "perf JSON output path");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help(
+          "verify_scaling — experiment V1: verifier wall-clock vs threads")) {
+    return 0;
+  }
   flags.reject_unknown();
 
+  base.algo = "identity";
+  base.verify_mode = sources == 0 ? "exact" : "sampled";
+  base.verify_sources = sources;
+
+  std::vector<unsigned> thread_list;
+  for (const auto& item : run::split_list(thread_spec)) {
+    thread_list.push_back(static_cast<unsigned>(
+        util::Flags::parse_integer("threads", item)));
+  }
+  if (thread_list.empty()) {
+    std::cerr << "error: empty --threads list\n";
+    return 2;
+  }
+
   bench::banner("V1", "verification pipeline scaling: wall-clock vs threads");
-  const auto g = graph::make_workload(family, n, seed);
-  const std::string mode = sources == 0 ? "exact" : "sampled";
-  const std::uint32_t num_sources = sources == 0 ? g.num_vertices() : sources;
-  std::cout << "family=" << family << " " << g.summary() << " mode=" << mode
-            << " (" << num_sources << " BFS sources)\n\n";
+  run::Runner runner;
+  const auto g = runner.cache().get(base.family, base.n, base.seed);
+  const std::uint32_t num_sources = sources == 0 ? g->num_vertices() : sources;
+  std::cout << "family=" << base.family << " " << g->summary()
+            << " mode=" << base.verify_mode << " (" << num_sources
+            << " BFS sources)\n\n";
+
   // Resolve each requested count the way the verifier itself will (0 = all
   // cores, clamped to the source count), so the table, efficiency column,
   // and JSON rows record the worker count actually used.
-  for (unsigned& threads : thread_list) {
-    threads = util::ThreadPool::resolve(threads, num_sources);
+  std::vector<run::ScenarioSpec> specs;
+  for (const unsigned threads : thread_list) {
+    auto spec = base;
+    spec.verify_threads = util::ThreadPool::resolve(threads, num_sources);
+    specs.push_back(spec);
   }
 
-  const auto run_once = [&](unsigned threads) {
-    return sources == 0
-               ? verify::verify_stretch_exact(g, g, 1.0, 0.0, threads)
-               : verify::verify_stretch_sampled(g, g, 1.0, 0.0, sources, 1,
-                                                threads);
-  };
+  // Sequential execution (runner threads = 1): each row's verify_wall_ms
+  // must not share cores with another scenario.
+  const auto rows = runner.run(specs);
 
-  util::CsvWriter csv(csv_path, {"threads", "wall_ms", "speedup", "identical"});
   util::Table t({"threads", "wall ms", "speedup", "efficiency %", "identical"});
-  struct Row {
-    unsigned threads;
-    double wall_ms;
-    double speedup;
-    bool identical;
-  };
-  std::vector<Row> rows;
-  verify::StretchReport reference;
-  std::uint64_t pairs = 0;
-  bool all_identical = true;
-  double baseline_ms = 0.0;
-  for (std::size_t i = 0; i < thread_list.size(); ++i) {
-    const unsigned threads = thread_list[i];
-    util::Timer timer;
-    const auto rep = run_once(threads);
-    const double wall = timer.millis();
-    if (i == 0) {
-      reference = rep;
-      baseline_ms = wall;
-      pairs = rep.pairs_checked;
+  std::vector<double> speedups;
+  std::vector<bool> identicals;
+  bool all_ok = true, all_identical = true;
+  const double baseline_ms = rows.front().verify_wall_ms;
+  for (const auto& row : rows) {
+    if (!row.ok) {
+      std::cerr << "error: " << row.error << "\n";
+      return 2;
     }
-    const bool identical = verify::bit_identical(rep, reference);
+    const bool identical =
+        verify::bit_identical(row.report, rows.front().report);
+    const double speedup =
+        row.verify_wall_ms > 0.0 ? baseline_ms / row.verify_wall_ms : 0.0;
+    speedups.push_back(speedup);
+    identicals.push_back(identical);
     all_identical = all_identical && identical;
-    const double speedup = wall > 0.0 ? baseline_ms / wall : 0.0;
-    rows.push_back({threads, wall, speedup, identical});
-    t.add_row({std::to_string(threads), util::Table::num(wall, 1),
-               util::Table::num(speedup), util::Table::num(100.0 * speedup /
-                                                           threads),
+    all_ok = all_ok && row.passed();
+    t.add_row({std::to_string(row.spec.verify_threads),
+               util::Table::num(row.verify_wall_ms, 1),
+               util::Table::num(speedup),
+               util::Table::num(100.0 * speedup / row.spec.verify_threads),
                identical ? "yes" : "NO"});
-    csv.row({std::to_string(threads), util::Table::num(wall, 3),
-             util::Table::num(speedup, 3), identical ? "1" : "0"});
   }
   t.print(std::cout);
-  std::cout << "\n" << pairs << " pairs checked per run; baseline is the "
-            << "first --threads entry (" << thread_list.front() << ").\n";
+  std::cout << "\n" << rows.front().report.pairs_checked
+            << " pairs checked per run; baseline is the first --threads entry ("
+            << rows.front().spec.verify_threads << ").\n";
   if (!all_identical) {
     std::cout << "ERROR: a sharded report diverged from the baseline.\n";
   }
 
+  // Perf-trajectory artifact: unified rows + wall clock + derived columns.
+  run::SinkOptions sink_options;
+  sink_options.timing = true;
+  sink_options.extra = [&](const run::ResultRow& row) {
+    return util::JsonObject{
+        {"verify_threads",
+         util::JsonValue::number(
+             static_cast<std::uint64_t>(row.spec.verify_threads))},
+        {"speedup", util::JsonValue::literal(
+                        run::format_real(speedups[row.index], 4))},
+        {"identical_to_baseline",
+         util::JsonValue::boolean(identicals[row.index])},
+    };
+  };
   if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (!json) {
-      std::cerr << "error: cannot open " << json_path << "\n";
-      return 2;
-    }
-    json << "[\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      json << "  {\"bench\": \"verify_scaling\", \"family\": \"" << family
-           << "\", \"n\": " << g.num_vertices() << ", \"m\": " << g.num_edges()
-           << ", \"mode\": \"" << mode << "\", \"threads\": " << r.threads
-           << ", \"wall_ms\": " << util::Table::num(r.wall_ms, 3)
-           << ", \"speedup\": " << util::Table::num(r.speedup, 3)
-           << ", \"pairs_checked\": " << pairs
-           << ", \"identical_to_baseline\": " << (r.identical ? "true" : "false")
-           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    json << "]\n";
+    run::write_json(rows, json_path, sink_options);
     std::cout << "wrote " << rows.size() << " rows to " << json_path << "\n";
   }
-  return all_identical ? 0 : 1;
+  if (!csv_path.empty()) run::write_csv(rows, csv_path, sink_options);
+
+  return all_identical && all_ok ? 0 : 1;
 }

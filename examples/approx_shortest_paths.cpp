@@ -19,11 +19,16 @@
 int main(int argc, char** argv) {
   using namespace nas;
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1200));
-  const std::string family = flags.str("family", "torus");
-  const double eps = flags.real("eps", 0.25);
-  const int kappa = static_cast<int>(flags.integer("kappa", 3));
-  const double rho = flags.real("rho", 0.4);
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1200, "target vertex count"));
+  const std::string family = flags.str("family", "torus", "workload family");
+  const double eps = flags.real("eps", 0.25, "epsilon");
+  const int kappa = static_cast<int>(flags.integer("kappa", 3, "kappa"));
+  const double rho = flags.real("rho", 0.4, "rho");
+  if (flags.handle_help(
+          "approx_shortest_paths — APSP from a near-additive spanner")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   const auto g = graph::make_workload(family, n, 77);

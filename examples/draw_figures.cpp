@@ -19,8 +19,13 @@
 int main(int argc, char** argv) {
   using namespace nas;
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 60));
-  const std::string out_prefix = flags.str("out", "fig");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 60, "target vertex count"));
+  const std::string out_prefix =
+      flags.str("out", "fig", "output filename prefix");
+  if (flags.handle_help("draw_figures — Figures 1-5 as Graphviz files")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   // A caveman graph mirrors the paper's Figure 1 setting: dense areas that

@@ -22,10 +22,14 @@
 int main(int argc, char** argv) {
   using namespace nas;
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1500));
-  const double eps = flags.real("eps", 0.25);
-  const int kappa = static_cast<int>(flags.integer("kappa", 4));
-  const double rho = flags.real("rho", 0.45);
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1500, "target vertex count"));
+  const double eps = flags.real("eps", 0.25, "epsilon");
+  const int kappa = static_cast<int>(flags.integer("kappa", 4, "kappa"));
+  const double rho = flags.real("rho", 0.45, "rho");
+  if (flags.handle_help("overlay_backbone — sparse communication backbone")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   const auto g = graph::make_workload("caveman", n, 2024);

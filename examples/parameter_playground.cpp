@@ -17,8 +17,14 @@
 int main(int argc, char** argv) {
   using namespace nas;
   util::Flags flags(argc, argv);
-  const auto n = static_cast<graph::Vertex>(flags.integer("n", 1000));
-  const std::string family = flags.str("family", "er_dense");
+  const auto n = static_cast<graph::Vertex>(
+      flags.integer("n", 1000, "target vertex count"));
+  const std::string family =
+      flags.str("family", "er_dense", "workload family");
+  if (flags.handle_help(
+          "parameter_playground — the (eps, kappa, rho) tradeoff surface")) {
+    return 0;
+  }
   flags.reject_unknown();
 
   const auto g = graph::make_workload(family, n, 4242);

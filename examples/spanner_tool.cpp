@@ -10,74 +10,96 @@
 // Input format: "n m" header line, then one "u v" pair per line ('#'
 // comments allowed).  Exit code 0 iff construction (and verification, if
 // requested) succeeded.
+//
+// Thin wrapper over the scenario runner: one file-sourced ScenarioSpec,
+// executed like any other experiment (keep_graphs retains the spanner for
+// the edge-list dump).
 #include <iostream>
 
-#include "core/elkin_matar.hpp"
+#include "core/params.hpp"
 #include "graph/io.hpp"
+#include "run/runner.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
-#include "verify/stretch.hpp"
 
 int main(int argc, char** argv) {
   using namespace nas;
   try {
     util::Flags flags(argc, argv);
-    const std::string in_path = flags.str("in", "");
-    const std::string out_path = flags.str("out", "");
-    const double eps = flags.real("eps", 0.25);
-    const int kappa = static_cast<int>(flags.integer("kappa", 3));
-    const double rho = flags.real("rho", 0.4);
-    const std::string mode = flags.str("mode", "practical");
-    const auto verify_sources =
-        static_cast<std::uint32_t>(flags.integer("verify", 0));
-    const auto verify_threads =
-        static_cast<unsigned>(flags.integer("verify-threads", 0));
+    run::ScenarioSpec spec;
+    const std::string in_path =
+        flags.str("in", "", "input edge-list file (required)");
+    const std::string out_path =
+        flags.str("out", "", "write the spanner's edge list here");
+    spec.eps = flags.real("eps", 0.25, "epsilon");
+    spec.kappa = static_cast<int>(flags.integer("kappa", 3, "kappa"));
+    spec.rho = flags.real("rho", 0.4, "rho");
+    spec.mode = flags.str("mode", "practical", "schedule: practical|paper");
+    spec.verify_sources = static_cast<std::uint32_t>(flags.integer(
+        "verify", 0, "sampled verification sources (0 = off)"));
+    spec.verify_mode = spec.verify_sources > 0 ? "sampled" : "off";
+    spec.verify_threads = static_cast<unsigned>(flags.integer(
+        "verify-threads", 0, "verifier shards, 0 = all cores"));
+    if (flags.handle_help(
+            "spanner_tool — build a near-additive spanner of an edge list")) {
+      return 0;
+    }
     flags.reject_unknown();
 
     if (in_path.empty()) {
       std::cerr << "usage: spanner_tool --in graph.txt [--out spanner.txt]\n"
                    "       [--eps E] [--kappa K] [--rho R] [--mode practical|paper]\n"
-                   "       [--verify NUM_SOURCES] [--verify-threads T]\n";
+                   "       [--verify NUM_SOURCES] [--verify-threads T]\n"
+                   "       (--help lists all flags)\n";
       return 2;
     }
+    spec.family = "file:" + in_path;
 
-    const auto g = graph::read_edge_list_file(in_path);
-    std::cerr << "read " << g.summary() << " from " << in_path << "\n";
+    run::Runner runner;
+    run::RunOptions run_options;
+    run_options.keep_graphs = true;
+    const auto row = runner.run_one(spec, 0, run_options);
+    if (!row.ok) {
+      std::cerr << "error: " << row.error << "\n";
+      return 2;
+    }
+    std::cerr << "read Graph(n=" << row.n << ", m=" << row.m << ") from "
+              << in_path << "\n";
+    std::cerr << "schedule: "
+              << (spec.mode == "paper"
+                      ? core::Params::paper(row.n, spec.eps, spec.kappa,
+                                            spec.rho)
+                      : core::Params::practical(row.n, spec.eps, spec.kappa,
+                                                spec.rho))
+                     .describe()
+              << "\n";
 
-    const auto params =
-        mode == "paper"
-            ? core::Params::paper(g.num_vertices(), eps, kappa, rho)
-            : core::Params::practical(g.num_vertices(), eps, kappa, rho);
-    std::cerr << "schedule: " << params.describe() << "\n";
-
-    const auto result = core::build_spanner(g, params, {.validate = false});
     if (!out_path.empty()) {
-      graph::write_edge_list_file(result.spanner, out_path);
-      std::cerr << "wrote " << result.spanner.num_edges() << " edges to "
-                << out_path << "\n";
+      graph::write_edge_list_file(*row.spanner, out_path);
+      std::cerr << "wrote " << row.spanner_edges << " edges to " << out_path
+                << "\n";
     }
 
     util::Table t({"metric", "value"});
-    t.add_row({"input edges", std::to_string(g.num_edges())});
-    t.add_row({"spanner edges", std::to_string(result.spanner.num_edges())});
-    t.add_row({"kept %", util::Table::num(100.0 * result.spanner.num_edges() /
-                                          std::max<std::size_t>(g.num_edges(), 1))});
-    t.add_row({"simulated CONGEST rounds", std::to_string(result.ledger.rounds())});
+    t.add_row({"input edges", std::to_string(row.m)});
+    t.add_row({"spanner edges", std::to_string(row.spanner_edges)});
+    t.add_row({"kept %",
+               util::Table::num(100.0 * static_cast<double>(row.spanner_edges) /
+                                std::max<std::uint64_t>(row.m, 1))});
+    t.add_row({"simulated CONGEST rounds", std::to_string(row.rounds)});
     t.add_row({"guarantee multiplicative",
-               util::Table::num(params.stretch_multiplicative())});
-    t.add_row({"guarantee additive",
-               util::Table::num(params.stretch_additive(), 0)});
+               util::Table::num(row.guarantee_mult)});
+    t.add_row({"guarantee additive", util::Table::num(row.guarantee_add, 0)});
     t.print(std::cout);
 
-    if (verify_sources > 0) {
-      const auto rep = verify::verify_stretch_sampled(
-          g, result.spanner, params.stretch_multiplicative(),
-          params.stretch_additive(), verify_sources, 1, verify_threads);
-      std::cout << "verification (" << rep.pairs_checked
-                << " pairs): max mult " << util::Table::num(rep.max_multiplicative)
-                << ", max additive " << rep.max_additive << " -> "
-                << (rep.bound_ok ? "bound OK" : "BOUND VIOLATED") << "\n";
-      if (!rep.bound_ok) return 1;
+    if (row.verified) {
+      std::cout << "verification (" << row.report.pairs_checked
+                << " pairs): max mult "
+                << util::Table::num(row.report.max_multiplicative)
+                << ", max additive " << row.report.max_additive << " -> "
+                << (row.report.bound_ok ? "bound OK" : "BOUND VIOLATED")
+                << "\n";
+      if (!row.report.bound_ok) return 1;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -32,7 +32,8 @@ class CsvWriter {
     out_ << '\n';
   }
 
- private:
+  /// RFC-4180 cell escaping (quote iff the cell contains , " or newline);
+  /// shared with the unified scenario-runner CSV sink.
   static std::string escape(const std::string& s) {
     if (s.find_first_of(",\"\n") == std::string::npos) return s;
     std::string quoted = "\"";
@@ -44,6 +45,7 @@ class CsvWriter {
     return quoted;
   }
 
+ private:
   std::ofstream out_;
 };
 

@@ -1,0 +1,96 @@
+// Minimal JSON emission helpers for the machine-readable bench artifacts.
+//
+// The repo's JSON needs are write-only and flat (arrays of one-level
+// objects), so this is not a JSON library: `json_escape` is the one
+// authoritative string escaper every row writer must go through (strings
+// used to be interpolated raw, so a family named `ba"x` would corrupt the
+// artifact), and `JsonValue` tags a pre-rendered cell as string vs literal
+// so object writers know which cells to quote.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nas::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): backslash, double quote, and control characters, the latter as
+/// \uNNNN (with the common \n \t \r \b \f short forms).
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One pre-rendered JSON scalar: either a string (quoted + escaped on
+/// emission) or a literal rendered verbatim (numbers, true/false, null).
+struct JsonValue {
+  enum class Kind { kString, kLiteral };
+  Kind kind = Kind::kLiteral;
+  std::string text = "null";
+
+  [[nodiscard]] static JsonValue str(std::string s) {
+    return {Kind::kString, std::move(s)};
+  }
+  [[nodiscard]] static JsonValue literal(std::string s) {
+    return {Kind::kLiteral, std::move(s)};
+  }
+  [[nodiscard]] static JsonValue number(std::int64_t v) {
+    return literal(std::to_string(v));
+  }
+  [[nodiscard]] static JsonValue number(std::uint64_t v) {
+    return literal(std::to_string(v));
+  }
+  [[nodiscard]] static JsonValue boolean(bool v) {
+    return literal(v ? "true" : "false");
+  }
+
+  /// Renders the value as it appears inside a JSON document.
+  [[nodiscard]] std::string render() const {
+    if (kind != Kind::kString) return text;
+    std::string out = "\"";
+    out += json_escape(text);
+    out += "\"";
+    return out;
+  }
+};
+
+/// An ordered flat JSON object, rendered as one line.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+[[nodiscard]] inline std::string render_json_object(const JsonObject& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += json_escape(fields[i].first);
+    out += "\": ";
+    out += fields[i].second.render();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nas::util

@@ -158,4 +158,20 @@ TEST(Workload, UnknownFamilyThrows) {
   EXPECT_THROW(make_workload("nope", 100, 1), std::invalid_argument);
 }
 
+// Regression guard for the scenario-runner's GraphCache and for every
+// seeded experiment: a generator invoked twice with the same seed must
+// produce the identical edge list, and a different seed must not silently
+// alias the same randomness.
+TEST(Workload, SameSeedSameEdgeListAcrossFamilies) {
+  for (const std::string family :
+       {"er", "er_dense", "gnm", "regular", "geometric", "ba", "caveman"}) {
+    const Graph a = make_workload(family, 300, 11);
+    const Graph b = make_workload(family, 300, 11);
+    EXPECT_EQ(a.num_vertices(), b.num_vertices()) << family;
+    EXPECT_EQ(a.edges(), b.edges()) << family << ": same seed diverged";
+    const Graph c = make_workload(family, 300, 12);
+    EXPECT_NE(a.edges(), c.edges()) << family << ": seed ignored";
+  }
+}
+
 }  // namespace

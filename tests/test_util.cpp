@@ -159,6 +159,72 @@ TEST(Flags, PositionalArgumentRejected) {
   EXPECT_THROW(Flags(2, const_cast<char**>(argv)), std::invalid_argument);
 }
 
+TEST(Flags, BadNumericValueNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--n", "abc", "--eps", "0.5zzz"};
+  Flags f(5, const_cast<char**>(argv));
+  try {
+    (void)f.integer("n", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
+  try {
+    (void)f.real("eps", 0.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--eps"), std::string::npos) << what;
+    EXPECT_NE(what.find("0.5zzz"), std::string::npos) << what;
+  }
+  // Trailing garbage is rejected, not silently truncated.
+  EXPECT_THROW((void)Flags::parse_integer("n", "12abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Flags::parse_integer("n", ""), std::invalid_argument);
+  EXPECT_EQ(Flags::parse_integer("n", "-7"), -7);
+  EXPECT_DOUBLE_EQ(Flags::parse_real("eps", "2.5e-1"), 0.25);
+}
+
+TEST(Flags, HelpListsRegisteredFlagsWithDefaults) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_TRUE(f.help_requested());
+  const auto n = f.integer("n", 42, "vertex count");
+  EXPECT_EQ(n, 42);
+  (void)f.str("family", "er", "workload family");
+  std::ostringstream out;
+  EXPECT_TRUE(f.handle_help("my_bench — what it does", out));
+  const std::string help = out.str();
+  EXPECT_NE(help.find("my_bench"), std::string::npos);
+  EXPECT_NE(help.find("--n [42]"), std::string::npos) << help;
+  EXPECT_NE(help.find("vertex count"), std::string::npos);
+  EXPECT_NE(help.find("--family [er]"), std::string::npos) << help;
+  EXPECT_NE(help.find("--help"), std::string::npos);
+  // --help itself never trips reject_unknown.
+  EXPECT_NO_THROW(f.reject_unknown());
+}
+
+TEST(Flags, HelpSuppressesValueParsing) {
+  // `--help` alongside a malformed value must still print help, not throw.
+  const char* argv[] = {"prog", "--n", "abc", "--help"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.integer("n", 5), 5);
+  std::ostringstream out;
+  EXPECT_TRUE(f.handle_help("", out));
+}
+
+TEST(Flags, HandleHelpIsNoopWithoutHelpFlag) {
+  const char* argv[] = {"prog", "--n", "3"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_FALSE(f.help_requested());
+  EXPECT_TRUE(f.provided("n"));
+  EXPECT_FALSE(f.provided("family"));
+  std::ostringstream out;
+  EXPECT_FALSE(f.handle_help("anything", out));
+  EXPECT_TRUE(out.str().empty());
+}
+
 TEST(ThreadPool, RunsEverySlotExactlyOnce) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.size(), 4u);
