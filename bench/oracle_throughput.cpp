@@ -1,0 +1,161 @@
+// Experiment O1 — distance-oracle serving throughput: batch-query wall-clock
+// vs query shards and cache budget on one fixed oracle.
+//
+// The serving layer is the repo's heavy-traffic story: one spanner, many
+// queries.  This bench sweeps the two serving knobs the scenario runner
+// exposes — query-threads (BFS shards inside one batch) and cache-budget
+// (bounded source cache) — on one (family, n, seed, schedule) oracle, and
+// re-checks at every point that the answer digest matches the first row:
+// the serving layer's determinism contract is that answers depend on the
+// spec only, never on the thread count or the budget.
+//
+//   ./oracle_throughput [--family er] [--n 20000] [--seed 1]
+//       [--algo em] [--eps 0.25] [--kappa 3] [--rho 0.4]
+//       [--workload zipf] [--queries 20000] [--workload-seed 1]
+//       [--zipf-theta 0.99]
+//       [--threads 1,2,4,8]       # query shards; first is the baseline
+//       [--budgets 0,4194304,67108864]  # cache budgets in bytes
+//       [--json BENCH_oracle.json]      # unified rows + timing + extras
+//       [--csv out.csv]
+//
+// Thin wrapper over the scenario runner: the sweep is a vector of specs
+// differing only in query_threads x cache_budget (the graph and spanner are
+// rebuilt per row but deterministically identical; the graph itself comes
+// from the shared GraphCache), executed sequentially so per-row wall-clock
+// is honest.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "run/sinks.hpp"
+
+using namespace nas;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  run::ScenarioSpec base;
+  base.family = flags.str("family", "er", "workload family");
+  base.n = static_cast<graph::Vertex>(
+      flags.integer("n", 20000, "target vertex count"));
+  base.seed = static_cast<std::uint64_t>(
+      flags.integer("seed", 1, "graph generator seed"));
+  base.algo = flags.str("algo", "em", "spanner algorithm: em|en17|identity");
+  base.eps = flags.real("eps", 0.25, "schedule epsilon");
+  base.kappa = static_cast<int>(flags.integer("kappa", 3, "schedule kappa"));
+  base.rho = flags.real("rho", 0.4, "schedule rho");
+  base.workload = flags.str("workload", "zipf", "request mix: uniform|zipf");
+  base.queries = static_cast<std::uint64_t>(
+      flags.integer("queries", 20000, "requests per batch"));
+  base.workload_seed = static_cast<std::uint64_t>(
+      flags.integer("workload-seed", 1, "request-generator seed"));
+  base.zipf_theta = flags.real("zipf-theta", 0.99, "zipf skew exponent");
+  const std::string thread_spec = flags.str(
+      "threads", "1,2,4,8", "comma-separated query shards; first = baseline");
+  const std::string budget_spec =
+      flags.str("budgets", "67108864", "comma-separated cache budgets (bytes)");
+  const std::string json_path =
+      flags.str("json", "BENCH_oracle.json", "perf JSON output path");
+  const std::string csv_path = flags.str("csv", "", "CSV output path");
+  if (flags.handle_help(
+          "oracle_throughput — experiment O1: serving wall-clock vs query "
+          "shards and cache budget")) {
+    return 0;
+  }
+  flags.reject_unknown();
+
+  std::vector<unsigned> thread_list;
+  for (const auto& item : run::split_list(thread_spec)) {
+    thread_list.push_back(static_cast<unsigned>(
+        util::Flags::parse_integer("threads", item)));
+  }
+  std::vector<std::uint64_t> budget_list;
+  for (const auto& item : run::split_list(budget_spec)) {
+    budget_list.push_back(static_cast<std::uint64_t>(
+        util::Flags::parse_integer("budgets", item)));
+  }
+  if (thread_list.empty() || budget_list.empty()) {
+    std::cerr << "error: empty --threads or --budgets list\n";
+    return 2;
+  }
+
+  bench::banner("O1", "distance-oracle serving: wall-clock vs shards/budget");
+  run::Runner runner;
+  const auto g = runner.cache().get(base.family, base.n, base.seed);
+  std::cout << "family=" << base.family << " " << g->summary() << " algo="
+            << base.algo << " workload=" << base.workload << " ("
+            << base.queries << " queries/batch)\n\n";
+
+  // Budget-major sweep.  The spec carries the *requested* thread count; the
+  // batch resolves it against the deduplicated uncached-source count, and
+  // the table reports that actual shard count (row.oracle_shards).
+  std::vector<run::ScenarioSpec> specs;
+  for (const auto budget : budget_list) {
+    for (const unsigned threads : thread_list) {
+      auto spec = base;
+      spec.cache_budget = budget;
+      spec.query_threads = threads;
+      specs.push_back(spec);
+    }
+  }
+
+  // Sequential execution: per-row serving wall-clock must not share cores.
+  const auto rows = runner.run(specs);
+
+  util::Table t({"budget B", "req", "shards", "serve ms", "kqueries/s", "BFS",
+                 "hits", "evict", "digest ok"});
+  bool all_ok = true, all_identical = true;
+  std::vector<double> kqps;
+  std::vector<bool> identicals;
+  const auto digest0 = rows.front().oracle_digest;
+  for (const auto& row : rows) {
+    if (!row.ok) {
+      std::cerr << "error: " << row.error << "\n";
+      return 2;
+    }
+    const bool identical = row.oracle_digest == digest0;
+    const double rate = row.oracle_wall_ms > 0.0
+                            ? static_cast<double>(row.oracle_queries) /
+                                  row.oracle_wall_ms
+                            : 0.0;
+    kqps.push_back(rate);
+    identicals.push_back(identical);
+    all_identical = all_identical && identical;
+    all_ok = all_ok && row.passed();
+    t.add_row({std::to_string(row.spec.cache_budget),
+               std::to_string(row.spec.query_threads),
+               std::to_string(row.oracle_shards),
+               util::Table::num(row.oracle_wall_ms, 1),
+               util::Table::num(rate),
+               std::to_string(row.oracle_bfs_passes),
+               std::to_string(row.oracle_cache_hits),
+               std::to_string(row.oracle_evictions),
+               identical ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\n" << rows.front().oracle_sources
+            << " distinct sources per batch; digest baseline is the first "
+               "row.\n";
+  if (!all_identical) {
+    std::cout << "ERROR: an answer digest diverged from the baseline.\n";
+  }
+
+  run::SinkOptions sink_options;
+  sink_options.timing = true;
+  sink_options.extra = [&](const run::ResultRow& row) {
+    return util::JsonObject{
+        {"kqueries_per_s",
+         util::JsonValue::literal(run::format_real(kqps[row.index], 4))},
+        {"identical_to_baseline",
+         util::JsonValue::boolean(identicals[row.index])},
+    };
+  };
+  if (!json_path.empty()) {
+    run::write_json(rows, json_path, sink_options);
+    std::cout << "wrote " << rows.size() << " rows to " << json_path << "\n";
+  }
+  if (!csv_path.empty()) run::write_csv(rows, csv_path, sink_options);
+
+  return all_identical && all_ok ? 0 : 1;
+}

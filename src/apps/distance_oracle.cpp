@@ -1,38 +1,341 @@
 #include "apps/distance_oracle.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "graph/bfs.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nas::apps {
 
 using graph::Vertex;
 
+namespace {
+
+constexpr char kMagic[] = "NAS-ORACLE v1";
+
+/// %.17g round-trips every finite IEEE double exactly.
+std::string render_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::uint64_t resolve_capacity(std::uint64_t budget_bytes, Vertex n) {
+  if (n == 0) return 0;
+  return budget_bytes / (static_cast<std::uint64_t>(n) * sizeof(std::uint32_t));
+}
+
+}  // namespace
+
 SpannerDistanceOracle::SpannerDistanceOracle(const graph::Graph& g,
-                                             const core::Params& params)
-    : result_(core::build_spanner(g, params, {.validate = false})) {}
+                                             const core::Params& params,
+                                             OracleOptions options)
+    : SpannerDistanceOracle(core::build_spanner(g, params, {.validate = false}),
+                            options) {}
 
-SpannerDistanceOracle::SpannerDistanceOracle(core::SpannerResult result)
-    : result_(std::move(result)) {}
+SpannerDistanceOracle::SpannerDistanceOracle(core::SpannerResult result,
+                                             OracleOptions options)
+    : spanner_(std::move(result.spanner)),
+      params_(std::move(result.params)),
+      mult_(params_->stretch_multiplicative()),
+      add_(params_->stretch_additive()),
+      capacity_(resolve_capacity(options.cache_budget_bytes,
+                                 spanner_.num_vertices())) {}
 
-const std::vector<std::uint32_t>& SpannerDistanceOracle::distances_from(
-    Vertex s) const {
-  const auto it = cache_.find(s);
-  if (it != cache_.end()) return it->second;
-  auto res = graph::bfs(result_.spanner, s);
-  return cache_.emplace(s, std::move(res.dist)).first->second;
+SpannerDistanceOracle::SpannerDistanceOracle(graph::Graph spanner,
+                                             double multiplicative,
+                                             double additive,
+                                             OracleOptions options,
+                                             std::optional<core::Params> params)
+    : spanner_(std::move(spanner)),
+      params_(std::move(params)),
+      mult_(multiplicative),
+      add_(additive),
+      capacity_(resolve_capacity(options.cache_budget_bytes,
+                                 spanner_.num_vertices())) {}
+
+void SpannerDistanceOracle::check_vertex(Vertex v) const {
+  if (v >= spanner_.num_vertices()) {
+    throw std::invalid_argument("SpannerDistanceOracle: vertex out of range");
+  }
+}
+
+void SpannerDistanceOracle::cache_insert(Vertex s,
+                                         std::vector<std::uint32_t>&& dist) const {
+  if (capacity_ == 0) return;
+  cache_[s] = CacheEntry{std::move(dist), clock_};
+  while (cache_.size() > capacity_) {
+    // Deterministic LRU: oldest logical clock first, ties broken towards the
+    // smallest source ID.  A linear scan — the capacity bounds the cost, and
+    // cache state stays a pure function of the query history.
+    auto victim = cache_.begin();
+    for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used ||
+          (it->second.last_used == victim->second.last_used &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    cache_.erase(victim);
+    ++evictions_;
+  }
 }
 
 std::uint32_t SpannerDistanceOracle::query(Vertex u, Vertex v) const {
-  if (u >= result_.spanner.num_vertices() ||
-      v >= result_.spanner.num_vertices()) {
-    throw std::invalid_argument("SpannerDistanceOracle: vertex out of range");
-  }
+  check_vertex(u);
+  check_vertex(v);
   if (u == v) return 0;
-  // Prefer a cached side if available.
-  if (cache_.count(v) && !cache_.count(u)) std::swap(u, v);
-  return distances_from(u)[v];
+  // Prefer a cached side; otherwise BFS from the smaller endpoint so (u,v)
+  // and (v,u) share one pass.
+  Vertex s = std::min(u, v);
+  if (cache_.count(u) != 0) {
+    s = u;
+  } else if (cache_.count(v) != 0) {
+    s = v;
+  }
+  const Vertex t = s == u ? v : u;
+  ++clock_;
+  const auto it = cache_.find(s);
+  if (it != cache_.end()) {
+    it->second.last_used = clock_;
+    return it->second.dist[t];
+  }
+  std::vector<std::uint32_t> dist;
+  graph::bfs_into(spanner_, s, dist, frontier_);
+  ++bfs_passes_;
+  const auto answer = dist[t];
+  cache_insert(s, std::move(dist));
+  return answer;
+}
+
+std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
+    std::span<const Query> queries, unsigned threads, BatchStats* stats) const {
+  for (const auto& q : queries) {
+    check_vertex(q.u);
+    check_vertex(q.v);
+  }
+
+  // Plan (serial): pick one BFS source per request — a cached endpoint when
+  // available, else the smaller ID — and deduplicate the uncached sources in
+  // first-appearance order.  Cache state is deterministic, so the plan is
+  // a pure function of the query history.
+  std::vector<Vertex> source_of(queries.size(), graph::kInvalidVertex);
+  std::vector<Vertex> missing;
+  std::unordered_map<Vertex, std::size_t> missing_index;
+  std::unordered_set<Vertex> hit_sources;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [u, v] = queries[i];
+    if (u == v) continue;
+    Vertex s = std::min(u, v);
+    if (cache_.count(u) != 0) {
+      s = u;
+    } else if (cache_.count(v) != 0) {
+      s = v;
+    }
+    source_of[i] = s;
+    if (cache_.count(s) != 0) {
+      hit_sources.insert(s);
+    } else if (missing_index.emplace(s, missing.size()).second) {
+      missing.push_back(s);
+    }
+  }
+
+  // BFS the uncached sources, sharded across the pool.  Every worker writes
+  // only its own sources' slots and its own frontier scratch, so the filled
+  // distance vectors are identical at any thread count.
+  std::vector<std::vector<std::uint32_t>> fresh(missing.size());
+  util::ThreadPool::run_sharded(
+      missing.size(), threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<Vertex> frontier;
+        for (std::size_t i = begin; i < end; ++i) {
+          graph::bfs_into(spanner_, missing[i], fresh[i], frontier);
+        }
+      });
+  bfs_passes_ += missing.size();
+
+  // Answer in request order (serial).
+  std::vector<std::uint32_t> answers(queries.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Vertex s = source_of[i];
+    if (s == graph::kInvalidVertex) continue;  // u == v
+    const Vertex t = s == queries[i].u ? queries[i].v : queries[i].u;
+    const auto hit = cache_.find(s);
+    answers[i] = hit != cache_.end() ? hit->second.dist[t]
+                                     : fresh[missing_index.at(s)][t];
+  }
+
+  // Cache maintenance (serial, deterministic): the whole batch counts as one
+  // logical-clock tick; touched entries are refreshed, the fresh sources are
+  // inserted in first-appearance order, and eviction trims to the budget.
+  ++clock_;
+  for (const Vertex s : hit_sources) cache_.at(s).last_used = clock_;
+  const auto evictions_before = evictions_;
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache_insert(missing[i], std::move(fresh[i]));
+  }
+
+  if (stats != nullptr) {
+    stats->queries = queries.size();
+    stats->distinct_sources = hit_sources.size() + missing.size();
+    stats->cache_hits = hit_sources.size();
+    stats->bfs_passes = missing.size();
+    stats->evictions = evictions_ - evictions_before;
+    stats->shards = util::ThreadPool::resolve(threads, missing.size());
+  }
+  return answers;
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+void SpannerDistanceOracle::save(std::ostream& out) const {
+  out << kMagic << '\n';
+  if (params_.has_value()) {
+    // Store the constructor arguments: Params::paper takes the user-facing
+    // eps', Params::practical the internal eps.
+    const auto& p = *params_;
+    out << "params " << (p.is_paper_mode() ? "paper" : "practical") << ' '
+        << render_double(p.is_paper_mode() ? p.eps_user() : p.eps_internal())
+        << ' ' << p.kappa() << ' ' << render_double(p.rho()) << ' '
+        << p.n_estimate() << '\n';
+  } else {
+    out << "params none\n";
+  }
+  out << "guarantee " << render_double(mult_) << ' ' << render_double(add_)
+      << '\n';
+  graph::write_edge_list(spanner_, out);
+}
+
+void SpannerDistanceOracle::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("oracle snapshot: cannot open " + path +
+                             " for writing");
+  }
+  save(out);
+  if (!out) throw std::runtime_error("oracle snapshot: write failed: " + path);
+}
+
+SpannerDistanceOracle SpannerDistanceOracle::load(std::istream& in,
+                                                  OracleOptions options) {
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("oracle snapshot: " + what + " at line " +
+                             std::to_string(line_no));
+  };
+  std::string line;
+  const auto next_line = [&](const char* expected) {
+    ++line_no;
+    if (!std::getline(in, line)) {
+      fail(std::string("truncated snapshot (expected ") + expected + ")");
+    }
+  };
+
+  next_line("magic header");
+  if (line != kMagic) {
+    fail("bad magic \"" + line + "\" (expected \"" + kMagic + "\")");
+  }
+
+  next_line("params line");
+  std::istringstream params_line(line);
+  std::string tag, mode;
+  if (!(params_line >> tag >> mode) || tag != "params") {
+    fail("malformed params line (expected 'params none|practical|paper ...')");
+  }
+  bool have_params = false;
+  double eps = 0.0, rho = 0.0;
+  int kappa = 0;
+  std::uint64_t n_estimate = 0;
+  std::string trailing;
+  if (mode == "none") {
+    if (params_line >> trailing) fail("trailing token in params line");
+  } else if (mode == "practical" || mode == "paper") {
+    if (!(params_line >> eps >> kappa >> rho >> n_estimate)) {
+      fail("malformed params line (expected 'params " + mode +
+           " <eps> <kappa> <rho> <n_estimate>')");
+    }
+    if (params_line >> trailing) fail("trailing token in params line");
+    have_params = true;
+  } else {
+    fail("unknown params mode \"" + mode + "\"");
+  }
+
+  next_line("guarantee line");
+  std::istringstream guarantee_line(line);
+  double mult = 0.0, add = 0.0;
+  if (!(guarantee_line >> tag >> mult >> add) || tag != "guarantee") {
+    fail("malformed guarantee line (expected 'guarantee <mult> <add>')");
+  }
+  if (guarantee_line >> trailing) fail("trailing token in guarantee line");
+
+  // The edge-list body reports errors with absolute line numbers by carrying
+  // the header offset into graph::read_edge_list.
+  graph::Graph spanner;
+  try {
+    spanner = graph::read_edge_list(in, line_no);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("oracle snapshot: ") + e.what());
+  }
+
+  std::optional<core::Params> params;
+  if (have_params) {
+    // Syntactically valid but semantically out-of-range arguments (kappa <
+    // 2, rho outside [1/kappa, 1/2), ...) throw from the Params factories;
+    // keep the snapshot error contract by naming the line they came from.
+    try {
+      params = mode == "paper"
+                   ? core::Params::paper(spanner.num_vertices(), eps, kappa,
+                                         rho, n_estimate)
+                   : core::Params::practical(spanner.num_vertices(), eps,
+                                             kappa, rho, n_estimate);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          std::string("oracle snapshot: invalid params at line 2: ") +
+          e.what());
+    }
+    // Drift guard: the schedule recomputed from the stored arguments must
+    // reproduce the recorded guarantee.  The comparison is relative, not
+    // bit-exact: Params goes through std::pow, and libm results may differ
+    // by an ulp between the saving and the loading machine — the recorded
+    // pair stays authoritative for serving either way.  Real schedule drift
+    // moves these values by far more than the tolerance.
+    const auto differs = [](double recomputed, double recorded) {
+      return std::abs(recomputed - recorded) >
+             1e-9 * std::max(1.0, std::abs(recorded));
+    };
+    if (differs(params->stretch_multiplicative(), mult) ||
+        differs(params->stretch_additive(), add)) {
+      throw std::runtime_error(
+          "oracle snapshot: recomputed guarantee (" +
+          render_double(params->stretch_multiplicative()) + ", " +
+          render_double(params->stretch_additive()) +
+          ") disagrees with the recorded pair (" + render_double(mult) + ", " +
+          render_double(add) + ")");
+    }
+  }
+  return SpannerDistanceOracle(std::move(spanner), mult, add, options,
+                               std::move(params));
+}
+
+SpannerDistanceOracle SpannerDistanceOracle::load_file(const std::string& path,
+                                                       OracleOptions options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("oracle snapshot: cannot open " + path);
+  return load(in, options);
+}
+
+std::uint64_t digest_answers(std::span<const std::uint32_t> answers) {
+  std::uint64_t h = util::mix64(answers.size());
+  for (const auto a : answers) h = util::mix64(h ^ a);
+  return h;
 }
 
 }  // namespace nas::apps

@@ -1,61 +1,182 @@
-// Approximate distance oracle backed by a near-additive spanner.
+// Approximate distance-oracle serving layer backed by a near-additive
+// spanner.
 //
 // The application the spanner literature ([EP01], [TZ01], [RTZ05] in the
 // paper's introduction) motivates: preprocess the graph once into a sparse
-// structure, then answer distance queries from the structure alone.  With a
-// (1+ε, β)-spanner the answers satisfy
+// structure, then serve distance queries from the structure alone.  With a
+// (M, A)-spanner the answers satisfy
 //
-//     d_G(u,v) ≤ query(u,v) ≤ (1+ε)·d_G(u,v) + β
+//     d_G(u,v) ≤ query(u,v) ≤ M·d_G(u,v) + A
 //
-// and each uncached query costs one BFS over H (O(|H|) = O(β·n^{1+1/κ}))
-// instead of O(|E|); per-source BFS results are cached, so answering all
-// queries from k distinct sources costs k BFS passes.
+// and each uncached query source costs one BFS over H (O(|H|) =
+// O(β·n^{1+1/κ})) instead of O(|E|).
+//
+// Serving model:
+//   * `batch_query` answers a whole request vector at once: the distinct
+//     BFS sources behind the batch are deduplicated and sharded across a
+//     util::ThreadPool, each worker filling allocation-free graph::bfs_into
+//     buffers.  Planning, answering, and cache maintenance are serial, so
+//     the answer vector (request order) is byte-identical at every thread
+//     count and every cache budget.
+//   * The per-source distance cache is *bounded*: OracleOptions fixes a
+//     memory budget, each cached source costs 4·n bytes, and eviction is
+//     deterministic LRU — least-recently-used batch first, ties broken by
+//     evicting the smallest source ID.  Cache state is therefore a pure
+//     function of the query history, never of thread scheduling.
+//   * `save`/`load` snapshot the oracle (spanner + Params + guarantee) so
+//     serving processes can load a prebuilt structure instead of re-running
+//     the CONGEST construction (tools/nas_oracle drives this).
+//
+// Thread-safety: const methods mutate the cache under the hood (same
+// contract as the previous unbounded implementation); callers must not
+// invoke methods on one oracle concurrently.  The concurrency happens
+// *inside* batch_query, on disjoint scratch buffers.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/elkin_matar.hpp"
+#include "core/params.hpp"
 #include "graph/graph.hpp"
 
 namespace nas::apps {
+
+/// One distance request.
+struct Query {
+  graph::Vertex u = 0;
+  graph::Vertex v = 0;
+};
+
+struct OracleOptions {
+  /// Source-cache memory budget in bytes; each cached source costs 4·n
+  /// bytes, so the cache holds floor(budget / 4n) sources.  0 disables
+  /// caching entirely (every batch re-runs its BFS passes).  Answers never
+  /// depend on the budget — only the BFS-pass count does.
+  std::uint64_t cache_budget_bytes = 64ull << 20;
+};
+
+/// Per-batch serving diagnostics.
+struct BatchStats {
+  std::uint64_t queries = 0;           ///< requests in the batch
+  std::uint64_t distinct_sources = 0;  ///< deduplicated BFS sources
+  std::uint64_t cache_hits = 0;        ///< sources served from the cache
+  std::uint64_t bfs_passes = 0;        ///< sources that needed a BFS
+  std::uint64_t evictions = 0;         ///< cache entries evicted afterwards
+  /// Worker shards the BFS phase actually ran on: the requested thread
+  /// count resolved against the uncached-source count (so it can be lower
+  /// than requested on cache-hot or highly skewed batches).
+  std::uint64_t shards = 0;
+};
 
 class SpannerDistanceOracle {
  public:
   /// Builds the spanner for `g` with schedule `params` and prepares the
   /// query structure.  The input graph is NOT retained.
-  SpannerDistanceOracle(const graph::Graph& g, const core::Params& params);
+  SpannerDistanceOracle(const graph::Graph& g, const core::Params& params,
+                        OracleOptions options = {});
 
-  /// Wraps an already-built spanner (shares the guarantee recorded in it).
-  explicit SpannerDistanceOracle(core::SpannerResult result);
+  /// Wraps an already-built construction (keeps its Params and guarantee).
+  explicit SpannerDistanceOracle(core::SpannerResult result,
+                                 OracleOptions options = {});
+
+  /// Wraps an arbitrary spanner with an externally proven guarantee
+  /// d_H ≤ multiplicative·d_G + additive (the baseline constructions and
+  /// snapshot loading come through here; no Params is attached unless
+  /// `params` is provided).
+  SpannerDistanceOracle(graph::Graph spanner, double multiplicative,
+                        double additive, OracleOptions options = {},
+                        std::optional<core::Params> params = std::nullopt);
 
   /// Approximate distance; graph::kInfDist if disconnected.
   [[nodiscard]] std::uint32_t query(graph::Vertex u, graph::Vertex v) const;
 
+  /// Answers `queries` in request order.  The distinct uncached sources are
+  /// sharded across `threads` workers (0 = hardware concurrency); the
+  /// returned vector is byte-identical for every thread count and cache
+  /// budget.  `stats`, when non-null, receives the batch diagnostics.
+  [[nodiscard]] std::vector<std::uint32_t> batch_query(
+      std::span<const Query> queries, unsigned threads = 1,
+      BatchStats* stats = nullptr) const;
+
+  // --- snapshot -------------------------------------------------------------
+
+  /// Writes the serving snapshot: a "NAS-ORACLE v1" header, the Params
+  /// needed to rebuild the schedule (or "none"), the guarantee pair, then
+  /// the spanner as a graph::io edge list.  Doubles are rendered with %.17g
+  /// so the loaded guarantee is bit-identical.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Reads a snapshot.  Malformed input raises std::runtime_error naming
+  /// the offending line, mirroring the graph::read_edge_list contract:
+  /// bad magic (line 1), malformed params/guarantee lines (lines 2-3),
+  /// truncated files, and edge-count mismatches in the edge-list body.
+  /// A snapshot with Params whose recomputed guarantee disagrees with the
+  /// recorded pair beyond a small relative tolerance is rejected
+  /// (schedule/schema drift guard; the tolerance absorbs cross-libm ulp
+  /// differences, and the recorded pair is what serving uses either way).
+  [[nodiscard]] static SpannerDistanceOracle load(std::istream& in,
+                                                  OracleOptions options = {});
+  [[nodiscard]] static SpannerDistanceOracle load_file(
+      const std::string& path, OracleOptions options = {});
+
+  // --- introspection --------------------------------------------------------
+
   /// The guarantee: query(u,v) <= multiplicative()*d_G(u,v) + additive().
-  [[nodiscard]] double multiplicative() const {
-    return result_.params.stretch_multiplicative();
-  }
-  [[nodiscard]] double additive() const {
-    return result_.params.stretch_additive();
-  }
+  [[nodiscard]] double multiplicative() const { return mult_; }
+  [[nodiscard]] double additive() const { return add_; }
 
+  [[nodiscard]] const graph::Graph& spanner() const { return spanner_; }
   [[nodiscard]] std::size_t spanner_edges() const {
-    return result_.spanner.num_edges();
+    return spanner_.num_edges();
   }
-  [[nodiscard]] const core::SpannerResult& construction() const {
-    return result_;
+  /// The schedule the spanner was built with, when known.
+  [[nodiscard]] const std::optional<core::Params>& params() const {
+    return params_;
   }
 
-  /// Number of BFS passes performed so far (cache diagnostics).
-  [[nodiscard]] std::size_t bfs_passes() const { return cache_.size(); }
+  /// Total BFS passes performed so far (cumulative, survives eviction).
+  [[nodiscard]] std::uint64_t bfs_passes() const { return bfs_passes_; }
+  /// Total cache evictions so far.
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  /// Sources currently cached / the bound the budget resolves to.
+  [[nodiscard]] std::size_t cached_sources() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t cache_capacity() const { return capacity_; }
 
  private:
-  const std::vector<std::uint32_t>& distances_from(graph::Vertex s) const;
+  struct CacheEntry {
+    std::vector<std::uint32_t> dist;
+    std::uint64_t last_used = 0;  ///< logical clock of the last touching batch
+  };
 
-  core::SpannerResult result_;
-  mutable std::unordered_map<graph::Vertex, std::vector<std::uint32_t>> cache_;
+  /// Inserts `dist` for `s` and evicts down to capacity (LRU, ties towards
+  /// the smallest source ID).  No-op when the budget holds zero sources.
+  void cache_insert(graph::Vertex s, std::vector<std::uint32_t>&& dist) const;
+  void check_vertex(graph::Vertex v) const;
+
+  graph::Graph spanner_;
+  std::optional<core::Params> params_;
+  double mult_ = 1.0;
+  double add_ = 0.0;
+  std::uint64_t capacity_ = 0;  ///< max cached sources (from the byte budget)
+
+  mutable std::unordered_map<graph::Vertex, CacheEntry> cache_;
+  mutable std::uint64_t clock_ = 0;
+  mutable std::uint64_t bfs_passes_ = 0;
+  mutable std::uint64_t evictions_ = 0;
+  mutable std::vector<graph::Vertex> frontier_;  ///< serial-path BFS scratch
 };
+
+/// Order-sensitive 64-bit digest of an answer vector (SplitMix-style mixing;
+/// includes the length).  The runner emits this through the unified sinks so
+/// cross-thread/cross-budget byte-identity of a whole serving run collapses
+/// to comparing one column.
+[[nodiscard]] std::uint64_t digest_answers(std::span<const std::uint32_t> answers);
 
 }  // namespace nas::apps

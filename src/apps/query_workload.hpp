@@ -1,0 +1,47 @@
+// Deterministic query-workload generation for the distance-oracle serving
+// layer.
+//
+// The ROADMAP north star is serving heavy traffic; real traffic is not
+// uniform — a few sources are hot (think landmark pages, popular users), and
+// that skew is exactly what a bounded source cache exploits.  Two request
+// distributions cover both ends:
+//
+//   * "uniform": both endpoints drawn uniformly from [0, n).  Worst case for
+//     the cache (every source about equally likely).
+//   * "zipf":    the source is drawn from a Zipf(theta) distribution over a
+//     seed-dependent permutation of the vertices (so the hot set is not just
+//     the low IDs); the target stays uniform.  Models heavy-traffic skew —
+//     theta around 1 gives the classic "few sources dominate" shape.
+//
+// Everything is generated with the repo's own Xoshiro256/Fisher-Yates
+// primitives — no std::shuffle, no std::discrete_distribution.  The
+// "uniform" stream is pure integer arithmetic and produces the same bytes
+// on every platform and stdlib; "zipf" additionally goes through std::pow
+// when building the CDF, so its stream is deterministic for a fixed libm
+// but may differ across libm implementations (which is why the golden-sink
+// corpus restricts itself to uniform).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace nas::apps {
+
+struct WorkloadSpec {
+  std::string dist = "uniform";  ///< "uniform" | "zipf"
+  std::uint64_t queries = 1000;  ///< batch size
+  std::uint64_t seed = 1;
+  double zipf_theta = 0.99;      ///< zipf skew exponent (ignored for uniform)
+};
+
+/// Generates `spec.queries` requests over vertices [0, n).  Deterministic in
+/// (n, spec); throws std::invalid_argument on an unknown distribution name,
+/// n == 0, or a non-positive zipf theta.
+[[nodiscard]] std::vector<Query> make_query_workload(graph::Vertex n,
+                                                     const WorkloadSpec& spec);
+
+}  // namespace nas::apps

@@ -18,13 +18,13 @@ void write_edge_list_file(const Graph& g, const std::string& path) {
   write_edge_list(g, out);
 }
 
-Graph read_edge_list(std::istream& in) {
+Graph read_edge_list(std::istream& in, std::size_t line_offset) {
   std::string line;
   Vertex n = 0;
   std::size_t m = 0;
   bool have_header = false;
   std::vector<Edge> edges;
-  std::size_t line_no = 0;
+  std::size_t line_no = line_offset;
   const auto fail = [&](const std::string& what) {
     throw std::runtime_error("read_edge_list: " + what + " at line " +
                              std::to_string(line_no));

@@ -16,7 +16,11 @@ namespace nas::graph {
 void write_edge_list(const Graph& g, std::ostream& out);
 void write_edge_list_file(const Graph& g, const std::string& path);
 
-[[nodiscard]] Graph read_edge_list(std::istream& in);
+/// `line_offset` is added to every reported line number, so callers that
+/// embed an edge list after their own header lines (the oracle snapshot
+/// format) surface absolute positions in the enclosing file.
+[[nodiscard]] Graph read_edge_list(std::istream& in,
+                                   std::size_t line_offset = 0);
 [[nodiscard]] Graph read_edge_list_file(const std::string& path);
 
 }  // namespace nas::graph

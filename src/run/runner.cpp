@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
 #include "baselines/en17.hpp"
 #include "congest/substrate.hpp"
 #include "core/elkin_matar.hpp"
@@ -78,6 +80,34 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
     } else if (spec.verify_mode != "off") {
       throw std::invalid_argument("unknown verify-mode \"" + spec.verify_mode +
                                   "\" (expected off|sampled|exact)");
+    }
+
+    if (spec.workload != "off") {
+      // Serving stage: build the oracle over the produced spanner (identity
+      // rows serve exact distances) and answer one generated batch.  Every
+      // recorded field is deterministic at any query-thread count and cache
+      // budget; only oracle_wall_ms is not.
+      util::Timer oracle_timer;
+      const apps::WorkloadSpec workload_spec{spec.workload, spec.queries,
+                                             spec.workload_seed,
+                                             spec.zipf_theta};
+      const auto requests =
+          apps::make_query_workload(spanner->num_vertices(), workload_spec);
+      const apps::SpannerDistanceOracle oracle(
+          *spanner, row.guarantee_mult, row.guarantee_add,
+          {.cache_budget_bytes = spec.cache_budget});
+      apps::BatchStats stats;
+      const auto answers =
+          oracle.batch_query(requests, spec.query_threads, &stats);
+      row.oracle_wall_ms = oracle_timer.millis();
+      row.served = true;
+      row.oracle_queries = stats.queries;
+      row.oracle_shards = stats.shards;
+      row.oracle_sources = stats.distinct_sources;
+      row.oracle_cache_hits = stats.cache_hits;
+      row.oracle_bfs_passes = stats.bfs_passes;
+      row.oracle_evictions = stats.evictions;
+      row.oracle_digest = apps::digest_answers(answers);
     }
 
     if (options.keep_graphs) {

@@ -46,9 +46,23 @@ struct ResultRow {
   bool verified = false;
   verify::StretchReport report;
 
+  // Oracle serving results (valid iff `served`; spec.workload != "off").
+  // `oracle_digest` is apps::digest_answers over the batch answers — a pure
+  // function of the spec, so sink byte-identity across query-thread counts
+  // and cache budgets covers the served answers too.
+  bool served = false;
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t oracle_shards = 0;     ///< BFS shards the batch actually used
+  std::uint64_t oracle_sources = 0;    ///< distinct BFS sources in the batch
+  std::uint64_t oracle_cache_hits = 0;
+  std::uint64_t oracle_bfs_passes = 0;
+  std::uint64_t oracle_evictions = 0;
+  std::uint64_t oracle_digest = 0;
+
   // Wall clock — nondeterministic; sinks emit these only on request.
   double build_wall_ms = 0.0;
   double verify_wall_ms = 0.0;
+  double oracle_wall_ms = 0.0;  ///< workload generation + batch answering
 
   // Retained only when RunOptions::keep_graphs (wrappers that post-process
   // the actual spanner, e.g. per-distance error profiles or edge-list dumps).

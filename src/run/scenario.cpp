@@ -36,6 +36,16 @@ std::string ScenarioSpec::id() const {
     out += "/";
     out += mode;
   }
+  if (workload != "off") {
+    out += "/w=";
+    out += workload;
+    out += "/q=";
+    out += std::to_string(queries);
+    out += "/cb=";
+    out += std::to_string(cache_budget);
+    out += "/qt=";
+    out += std::to_string(query_threads);
+  }
   return out;
 }
 
@@ -49,33 +59,43 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
           for (const auto algo_seed : algo_seeds)
             for (const auto eps : epss)
               for (const auto kappa : kappas)
-                for (const auto rho : rhos) {
-                  ScenarioSpec s;
-                  s.family = family;
-                  s.n = n;
-                  s.seed = seed;
-                  s.algo = algo;
-                  s.algo_seed = algo_seed;
-                  s.eps = eps;
-                  s.kappa = kappa;
-                  s.rho = rho;
-                  s.mode = mode;
-                  s.substrate = substrate;
-                  s.build_threads = build_threads;
-                  s.crosscheck = crosscheck;
-                  s.validate = validate;
-                  s.verify_mode = verify_mode;
-                  s.verify_sources = verify_sources;
-                  s.verify_threads = verify_threads;
-                  s.verify_seed = verify_seed;
-                  specs.push_back(std::move(s));
-                }
+                for (const auto rho : rhos)
+                  for (const auto& workload : workloads)
+                    for (const auto cache_budget : cache_budgets)
+                      for (const auto threads : query_threads) {
+                        ScenarioSpec s;
+                        s.family = family;
+                        s.n = n;
+                        s.seed = seed;
+                        s.algo = algo;
+                        s.algo_seed = algo_seed;
+                        s.eps = eps;
+                        s.kappa = kappa;
+                        s.rho = rho;
+                        s.mode = mode;
+                        s.substrate = substrate;
+                        s.build_threads = build_threads;
+                        s.crosscheck = crosscheck;
+                        s.validate = validate;
+                        s.verify_mode = verify_mode;
+                        s.verify_sources = verify_sources;
+                        s.verify_threads = verify_threads;
+                        s.verify_seed = verify_seed;
+                        s.workload = workload;
+                        s.queries = queries;
+                        s.workload_seed = workload_seed;
+                        s.zipf_theta = zipf_theta;
+                        s.cache_budget = cache_budget;
+                        s.query_threads = threads;
+                        specs.push_back(std::move(s));
+                      }
   return specs;
 }
 
 std::size_t ScenarioMatrix::size() const {
   return families.size() * ns.size() * seeds.size() * algos.size() *
-         algo_seeds.size() * epss.size() * kappas.size() * rhos.size();
+         algo_seeds.size() * epss.size() * kappas.size() * rhos.size() *
+         workloads.size() * cache_budgets.size() * query_threads.size();
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -116,6 +136,16 @@ std::vector<T> parse_list(const std::string& key, const std::string& value,
 void ScenarioMatrix::set(const std::string& key, const std::string& value) {
   const auto ints = [&](const std::string& k, const std::string& v) {
     return util::Flags::parse_integer(k, v);
+  };
+  // Keys stored into unsigned fields where a negative typo would otherwise
+  // wrap to a huge value (an "unbounded" cache from `cache-budget = -4096`).
+  const auto non_negative = [&](const std::string& k, const std::string& v) {
+    const auto parsed = util::Flags::parse_integer(k, v);
+    if (parsed < 0) {
+      throw std::invalid_argument("scenario key \"" + k +
+                                  "\" must be >= 0, got " + v);
+    }
+    return parsed;
   };
   const auto reals = [&](const std::string& k, const std::string& v) {
     return util::Flags::parse_real(k, v);
@@ -167,6 +197,25 @@ void ScenarioMatrix::set(const std::string& key, const std::string& value) {
     verify_threads = static_cast<unsigned>(ints(key, value));
   } else if (key == "verify-seed") {
     verify_seed = static_cast<std::uint64_t>(ints(key, value));
+  } else if (key == "workload") {
+    workloads = parse_list<std::string>(
+        key, value, [](const std::string&, const std::string& v) {
+          if (v != "off" && v != "uniform" && v != "zipf") {
+            throw std::invalid_argument(
+                "workload must be off|uniform|zipf, got \"" + v + "\"");
+          }
+          return v;
+        });
+  } else if (key == "cache-budget") {
+    cache_budgets = parse_list<std::uint64_t>(key, value, non_negative);
+  } else if (key == "query-threads") {
+    query_threads = parse_list<unsigned>(key, value, non_negative);
+  } else if (key == "queries") {
+    queries = static_cast<std::uint64_t>(non_negative(key, value));
+  } else if (key == "workload-seed") {
+    workload_seed = static_cast<std::uint64_t>(ints(key, value));
+  } else if (key == "zipf-theta") {
+    zipf_theta = util::Flags::parse_real(key, value);
   } else {
     throw std::invalid_argument("unknown scenario key \"" + key + "\"");
   }
@@ -197,6 +246,12 @@ void ScenarioMatrix::apply_flags(const util::Flags& flags) {
       {"verify-mode", "off", "stretch verification: off|sampled|exact"},
       {"verify-threads", "1", "verifier worker shards, 0 = all cores"},
       {"verify-seed", "1", "sampled verification source seed"},
+      {"workload", "off", "oracle serving workloads: off|uniform|zipf (comma list)"},
+      {"cache-budget", "67108864", "oracle cache budgets in bytes (comma list)"},
+      {"query-threads", "1", "oracle batch shards, 0 = all cores (comma list)"},
+      {"queries", "1000", "oracle requests per batch"},
+      {"workload-seed", "1", "oracle request-generator seed"},
+      {"zipf-theta", "0.99", "zipf workload skew exponent"},
   };
   for (const auto& k : kKeys) {
     const std::string raw = flags.str(k.key, k.fallback, k.desc);

@@ -61,8 +61,21 @@ struct ScenarioSpec {
   unsigned verify_threads = 1;       ///< verifier shards, 0 = all cores
   std::uint64_t verify_seed = 1;     ///< sampled mode: source-choice seed
 
+  // Distance-oracle serving stage (apps::SpannerDistanceOracle): generate a
+  // query workload against the produced spanner and answer it as one batch.
+  // "off" skips the stage entirely.
+  std::string workload = "off";           ///< "off" | "uniform" | "zipf"
+  std::uint64_t queries = 1000;           ///< requests per batch
+  std::uint64_t workload_seed = 1;        ///< request-generator seed
+  double zipf_theta = 0.99;               ///< zipf skew exponent
+  std::uint64_t cache_budget = 64 << 20;  ///< oracle source-cache bytes
+  unsigned query_threads = 1;             ///< batch shards, 0 = all cores
+
   /// Compact deterministic identifier, e.g.
-  /// "er/n=512/seed=1/em/eps=0.25/kappa=3/rho=0.4".
+  /// "er/n=512/seed=1/em/eps=0.25/kappa=3/rho=0.4"; serving scenarios append
+  /// "/w=<workload>/q=<queries>/cb=<cache_budget>/qt=<query_threads>" so
+  /// every expansion axis is visible in the id (rows of a serving sweep stay
+  /// distinguishable in logs and grouped sink output).
   [[nodiscard]] std::string id() const;
 };
 
@@ -76,6 +89,10 @@ struct ScenarioMatrix {
   std::vector<double> epss{0.25};
   std::vector<int> kappas{3};
   std::vector<double> rhos{0.4};
+  // Oracle serving axes (sweepable like the schedule parameters).
+  std::vector<std::string> workloads{"off"};
+  std::vector<std::uint64_t> cache_budgets{64 << 20};
+  std::vector<unsigned> query_threads{1};
 
   // Scalar (non-matrix) settings copied into every spec.
   std::string mode = "practical";
@@ -87,10 +104,14 @@ struct ScenarioMatrix {
   std::uint32_t verify_sources = 16;
   unsigned verify_threads = 1;
   std::uint64_t verify_seed = 1;
+  std::uint64_t queries = 1000;
+  std::uint64_t workload_seed = 1;
+  double zipf_theta = 0.99;
 
   /// The cross product in fixed nesting order — family outermost, then n,
-  /// seed, algo, algo_seed, eps, kappa, rho innermost.  Deterministic: the
-  /// i-th spec depends only on the axis lists, never on execution.
+  /// seed, algo, algo_seed, eps, kappa, rho, workload, cache_budget,
+  /// query_threads innermost.  Deterministic: the i-th spec depends only on
+  /// the axis lists, never on execution.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Number of specs expand() will produce.

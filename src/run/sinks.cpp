@@ -37,6 +37,17 @@ util::JsonObject row_fields(const ResultRow& row, const SinkOptions& options) {
       {"max_add",
        JsonValue::number(row.verified ? row.report.max_additive : 0)},
       {"bound_ok", JsonValue::boolean(!row.verified || row.report.bound_ok)},
+      {"workload", JsonValue::str(spec.workload)},
+      {"queries", JsonValue::number(row.served ? row.oracle_queries : 0)},
+      {"cache_budget", JsonValue::number(spec.cache_budget)},
+      {"query_threads",
+       JsonValue::number(static_cast<std::uint64_t>(spec.query_threads))},
+      {"oracle_shards", JsonValue::number(row.oracle_shards)},
+      {"oracle_sources", JsonValue::number(row.oracle_sources)},
+      {"oracle_cache_hits", JsonValue::number(row.oracle_cache_hits)},
+      {"oracle_bfs", JsonValue::number(row.oracle_bfs_passes)},
+      {"oracle_evictions", JsonValue::number(row.oracle_evictions)},
+      {"oracle_digest", JsonValue::hex64(row.oracle_digest)},
       {"ok", JsonValue::boolean(row.ok)},
       {"error", JsonValue::str(row.error)},
   };
@@ -45,6 +56,8 @@ util::JsonObject row_fields(const ResultRow& row, const SinkOptions& options) {
                         JsonValue::literal(format_real(row.build_wall_ms, 4)));
     fields.emplace_back("verify_ms",
                         JsonValue::literal(format_real(row.verify_wall_ms, 4)));
+    fields.emplace_back("oracle_ms",
+                        JsonValue::literal(format_real(row.oracle_wall_ms, 4)));
   }
   if (options.extra) {
     for (auto& field : options.extra(row)) fields.push_back(std::move(field));

@@ -66,6 +66,15 @@ struct JsonValue {
   [[nodiscard]] static JsonValue boolean(bool v) {
     return literal(v ? "true" : "false");
   }
+  /// A 64-bit value as a fixed-width lowercase hex *string*: bare JSON
+  /// numbers above 2^53 are silently rounded by double-based consumers
+  /// (jq, JavaScript), which would defeat digest comparisons.
+  [[nodiscard]] static JsonValue hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return str(buf);
+  }
 
   /// Renders the value as it appears inside a JSON document.
   [[nodiscard]] std::string render() const {

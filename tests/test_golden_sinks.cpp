@@ -1,0 +1,85 @@
+// Golden-file regression for the unified sinks: a checked-in scenario file
+// (tests/data/golden.scenario) runs through the real Runner and its JSON/CSV
+// renderings are byte-compared against checked-in corpus files, so sink
+// schema drift (added/renamed/reordered columns, changed formatting) fails
+// ctest instead of surviving until CI's cross-thread cmp gate.
+//
+// Everything in the matrix is deterministic with timing off: generated
+// graphs, the construction, the exact verifier (bit-identical at any shard
+// count), and the oracle serving digest.  The uniform workload keeps even
+// the request stream libm-free, so the bytes are stable across toolchains.
+//
+// Regenerating after an *intentional* schema change:
+//   NAS_UPDATE_GOLDEN=1 ./build/tests/test_golden_sinks
+// then review the diff of tests/data/golden_rows.{json,csv} like any other
+// code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "run/runner.hpp"
+#include "run/scenario.hpp"
+#include "run/sinks.hpp"
+
+namespace {
+
+using namespace nas;
+
+std::string data_path(const std::string& name) {
+  return std::string(NAS_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(GoldenSinks, RunnerOutputMatchesCheckedInCorpus) {
+  const auto matrix =
+      run::ScenarioMatrix::from_file(data_path("golden.scenario"));
+  const auto specs = matrix.expand();
+  ASSERT_FALSE(specs.empty());
+
+  run::Runner runner;
+  run::RunOptions options;
+  options.threads = 2;
+  const auto rows = runner.run(specs, options);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.passed()) << row.spec.id() << ": " << row.error;
+  }
+
+  const auto json = run::render_json(rows);
+  const auto csv = run::render_csv(rows);
+
+  if (std::getenv("NAS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream(data_path("golden_rows.json"), std::ios::binary) << json;
+    std::ofstream(data_path("golden_rows.csv"), std::ios::binary) << csv;
+    GTEST_SKIP() << "golden corpus regenerated; review the diff";
+  }
+
+  EXPECT_EQ(json, slurp(data_path("golden_rows.json")))
+      << "JSON sink output drifted from tests/data/golden_rows.json; if the "
+         "schema change is intentional, regenerate with NAS_UPDATE_GOLDEN=1";
+  EXPECT_EQ(csv, slurp(data_path("golden_rows.csv")))
+      << "CSV sink output drifted from tests/data/golden_rows.csv; if the "
+         "schema change is intentional, regenerate with NAS_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenSinks, RenderingIsPureOverRows) {
+  // The corpus guards bytes; this guards the contract the corpus relies on:
+  // rendering the same rows twice is byte-identical (no hidden state).
+  const auto matrix =
+      run::ScenarioMatrix::from_file(data_path("golden.scenario"));
+  run::Runner runner;
+  const auto rows = runner.run(matrix.expand());
+  EXPECT_EQ(run::render_json(rows), run::render_json(rows));
+  EXPECT_EQ(run::render_csv(rows), run::render_csv(rows));
+}
+
+}  // namespace

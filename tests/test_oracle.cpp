@@ -1,0 +1,298 @@
+// Tests for the concurrent distance-oracle serving layer: batch-answer
+// bit-identity across thread counts and cache budgets, deterministic cache
+// eviction, snapshot round-trips, the malformed-snapshot corpus (mirroring
+// the read_edge_list line-numbered-error contract), and the query-workload
+// generator.  Per the repo's single-core bench policy these tests assert
+// determinism, never wall-clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
+#include "core/elkin_matar.hpp"
+#include "graph/apsp.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nas;
+using apps::Query;
+using apps::SpannerDistanceOracle;
+using core::Params;
+using graph::Graph;
+using graph::Vertex;
+
+core::SpannerResult build_result(const Graph& g) {
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  return core::build_spanner(g, params, {.validate = false});
+}
+
+TEST(OracleBatch, BitIdenticalAcrossThreadsAndBudgets) {
+  const Graph g = graph::make_workload("er", 300, 3);
+  auto result = build_result(g);
+  const auto queries = apps::make_query_workload(
+      g.num_vertices(), {"zipf", 600, 11, 0.99});
+
+  // Reference: serial, unbounded-ish budget.
+  const SpannerDistanceOracle reference(std::move(result));
+  const auto expected = reference.batch_query(queries, 1);
+  const auto expected_digest = apps::digest_answers(expected);
+
+  const Graph& spanner = reference.spanner();
+  for (const std::uint64_t budget :
+       {std::uint64_t{0}, std::uint64_t{8} * g.num_vertices(),
+        std::uint64_t{64} << 20}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const SpannerDistanceOracle oracle(
+          spanner, reference.multiplicative(), reference.additive(),
+          {.cache_budget_bytes = budget});
+      apps::BatchStats stats;
+      const auto answers = oracle.batch_query(queries, threads, &stats);
+      ASSERT_EQ(answers, expected)
+          << "budget=" << budget << " threads=" << threads;
+      EXPECT_EQ(apps::digest_answers(answers), expected_digest);
+      EXPECT_EQ(stats.queries, queries.size());
+      EXPECT_EQ(stats.cache_hits + stats.bfs_passes, stats.distinct_sources);
+    }
+  }
+}
+
+TEST(OracleBatch, SecondBatchServedFromCache) {
+  const Graph g = graph::make_workload("er", 200, 5);
+  const SpannerDistanceOracle oracle(build_result(g));
+  const auto queries =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 200, 7, 0.0});
+  apps::BatchStats first, second;
+  const auto a1 = oracle.batch_query(queries, 2, &first);
+  const auto a2 = oracle.batch_query(queries, 4, &second);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_GT(first.bfs_passes, 0u);
+  // Batch two picks cached endpoints as sources, so every request is a hit
+  // (the distinct-source *set* may legitimately differ from batch one).
+  EXPECT_EQ(second.bfs_passes, 0u);
+  EXPECT_EQ(second.cache_hits, second.distinct_sources);
+  EXPECT_EQ(oracle.bfs_passes(), first.bfs_passes);
+}
+
+TEST(OracleBatch, MatchesSingleQueriesAndHandlesEdgeCases) {
+  const Graph g = graph::make_workload("grid", 144, 1);
+  const SpannerDistanceOracle oracle(build_result(g));
+  const std::vector<Query> queries{{0, 17}, {17, 0}, {5, 5}, {3, 140}};
+  const auto answers = oracle.batch_query(queries, 2);
+  ASSERT_EQ(answers.size(), queries.size());
+  EXPECT_EQ(answers[0], answers[1]);  // symmetric
+  EXPECT_EQ(answers[2], 0u);          // u == v
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(oracle.query(queries[i].u, queries[i].v), answers[i]);
+  }
+  EXPECT_THROW((void)oracle.batch_query(std::vector<Query>{{0, 9999}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)oracle.query(9999, 0), std::invalid_argument);
+}
+
+TEST(OracleBatch, DisconnectedPairsReportInf) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  const auto params = Params::practical(6, 0.5, 3, 0.4);
+  const SpannerDistanceOracle oracle(g, params);
+  const auto answers = oracle.batch_query(std::vector<Query>{{0, 2}, {0, 1}}, 2);
+  EXPECT_EQ(answers[0], graph::kInfDist);
+  EXPECT_EQ(answers[1], 1u);
+}
+
+TEST(OracleCache, DeterministicLruEvictionWithinBudget) {
+  const Graph g = graph::make_workload("er", 100, 9);
+  const auto n = g.num_vertices();
+  // Budget for exactly two cached sources.
+  const SpannerDistanceOracle oracle(
+      build_result(g),
+      {.cache_budget_bytes = 2ull * n * sizeof(std::uint32_t)});
+  ASSERT_EQ(oracle.cache_capacity(), 2u);
+
+  (void)oracle.query(5, 50);   // caches 5
+  (void)oracle.query(10, 50);  // caches 10
+  (void)oracle.query(20, 50);  // caches 20, evicts 5 (oldest)
+  EXPECT_EQ(oracle.cached_sources(), 2u);
+  EXPECT_EQ(oracle.evictions(), 1u);
+  EXPECT_EQ(oracle.bfs_passes(), 3u);
+  (void)oracle.query(10, 60);  // still cached -> no BFS
+  EXPECT_EQ(oracle.bfs_passes(), 3u);
+  (void)oracle.query(5, 60);  // was evicted -> BFS again
+  EXPECT_EQ(oracle.bfs_passes(), 4u);
+}
+
+TEST(OracleCache, ZeroBudgetDisablesCachingButNotAnswers) {
+  const Graph g = graph::make_workload("er", 150, 4);
+  auto result = build_result(g);
+  const SpannerDistanceOracle unbounded(result.spanner, 2.0, 10.0);
+  const SpannerDistanceOracle uncached(result.spanner, 2.0, 10.0,
+                                       {.cache_budget_bytes = 0});
+  EXPECT_EQ(uncached.cache_capacity(), 0u);
+  const auto queries =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 100, 3, 0.0});
+  EXPECT_EQ(uncached.batch_query(queries, 2), unbounded.batch_query(queries, 2));
+  EXPECT_EQ(uncached.cached_sources(), 0u);
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+TEST(OracleSnapshot, RoundTripPreservesAnswersParamsAndGuarantee) {
+  const Graph g = graph::make_workload("ba", 250, 7);
+  const SpannerDistanceOracle original(build_result(g));
+  ASSERT_TRUE(original.params().has_value());
+
+  std::stringstream snapshot;
+  original.save(snapshot);
+  const auto loaded = SpannerDistanceOracle::load(snapshot);
+
+  EXPECT_EQ(loaded.spanner_edges(), original.spanner_edges());
+  EXPECT_EQ(loaded.spanner().num_vertices(), original.spanner().num_vertices());
+  EXPECT_EQ(loaded.multiplicative(), original.multiplicative());
+  EXPECT_EQ(loaded.additive(), original.additive());
+  ASSERT_TRUE(loaded.params().has_value());
+  EXPECT_EQ(loaded.params()->kappa(), original.params()->kappa());
+  EXPECT_EQ(loaded.params()->ell(), original.params()->ell());
+
+  const auto queries = apps::make_query_workload(
+      g.num_vertices(), {"zipf", 400, 13, 1.1});
+  EXPECT_EQ(loaded.batch_query(queries, 2), original.batch_query(queries, 2));
+}
+
+TEST(OracleSnapshot, FileRoundTripAndPaperMode) {
+  const Graph g = graph::make_workload("er", 120, 2);
+  const auto params = Params::paper(g.num_vertices(), 0.5, 3, 0.4);
+  const SpannerDistanceOracle original(g, params);
+  const std::string path = ::testing::TempDir() + "oracle_roundtrip.naso";
+  original.save_file(path);
+  const auto loaded = SpannerDistanceOracle::load_file(path);
+  EXPECT_EQ(loaded.multiplicative(), original.multiplicative());
+  EXPECT_EQ(loaded.additive(), original.additive());
+  ASSERT_TRUE(loaded.params().has_value());
+  EXPECT_TRUE(loaded.params()->is_paper_mode());
+  const auto queries =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 150, 1, 0.0});
+  EXPECT_EQ(loaded.batch_query(queries, 8), original.batch_query(queries, 1));
+}
+
+TEST(OracleSnapshot, BaselineWithoutParamsRoundTrips) {
+  const Graph g = graph::make_workload("grid", 100, 1);
+  const SpannerDistanceOracle original(g, 3.0, 2.0);  // externally proven
+  std::stringstream snapshot;
+  original.save(snapshot);
+  EXPECT_NE(snapshot.str().find("params none"), std::string::npos);
+  const auto loaded = SpannerDistanceOracle::load(snapshot);
+  EXPECT_FALSE(loaded.params().has_value());
+  EXPECT_EQ(loaded.multiplicative(), 3.0);
+  EXPECT_EQ(loaded.additive(), 2.0);
+  EXPECT_EQ(loaded.spanner_edges(), g.num_edges());
+}
+
+// The malformed-snapshot corpus, mirroring read_edge_list's line-numbered
+// errors: every rejection names the offending line of the enclosing file.
+void expect_load_error(const std::string& text, const std::string& expected) {
+  std::istringstream in(text);
+  try {
+    (void)SpannerDistanceOracle::load(in);
+    FAIL() << "expected rejection of: " << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(OracleSnapshot, MalformedCorpusRejectedWithLineNumbers) {
+  // Truncations at every stage.
+  expect_load_error("", "truncated snapshot");
+  expect_load_error("", "line 1");
+  expect_load_error("NAS-ORACLE v1\n", "line 2");
+  expect_load_error("NAS-ORACLE v1\nparams none\n", "line 3");
+  // Bad magic (wrong tool, wrong version).
+  expect_load_error("NAS-ORACLE v9\nparams none\n", "bad magic");
+  expect_load_error("5 4\n0 1\n", "bad magic");
+  // Malformed params / guarantee lines.
+  expect_load_error("NAS-ORACLE v1\nschedule none\n", "params line");
+  expect_load_error("NAS-ORACLE v1\nparams sideways 1 2 3 4\n",
+                    "unknown params mode");
+  expect_load_error("NAS-ORACLE v1\nparams practical 0.5 3\n",
+                    "malformed params line");
+  expect_load_error("NAS-ORACLE v1\nparams none extra\n", "trailing token");
+  expect_load_error("NAS-ORACLE v1\nparams none\nguarantee 1.5\n",
+                    "malformed guarantee line");
+  expect_load_error("NAS-ORACLE v1\nparams none\nguarantee 1.5 2 junk\n",
+                    "trailing token in guarantee line");
+  // Edge-list body errors carry absolute line numbers (header offset 3).
+  expect_load_error("NAS-ORACLE v1\nparams none\nguarantee 1 0\nnope\n",
+                    "line 4");
+  expect_load_error(
+      "NAS-ORACLE v1\nparams none\nguarantee 1 0\n4 3\n0 1\n1 2\n",
+      "declares m=3");
+  expect_load_error(
+      "NAS-ORACLE v1\nparams none\nguarantee 1 0\n4 1\n0 1\n1 2\n",
+      "line 6");
+  expect_load_error(
+      "NAS-ORACLE v1\nparams none\nguarantee 1 0\n4 2\n0 1 7\n1 2\n",
+      "trailing token");
+  // Semantically out-of-range params keep the line-numbered contract.
+  expect_load_error(
+      "NAS-ORACLE v1\nparams practical 0.5 1 0.4 0\nguarantee 1 0\n"
+      "4 2\n0 1\n1 2\n",
+      "invalid params at line 2");
+  // Recorded guarantee disagreeing with the recomputed schedule.
+  expect_load_error(
+      "NAS-ORACLE v1\nparams practical 0.5 3 0.4 0\nguarantee 1 0\n"
+      "4 2\n0 1\n1 2\n",
+      "disagrees with the recorded pair");
+}
+
+// --- workload generator ------------------------------------------------------
+
+TEST(QueryWorkload, DeterministicAndInRange) {
+  const apps::WorkloadSpec spec{"uniform", 500, 42, 0.0};
+  const auto a = apps::make_query_workload(1000, spec);
+  const auto b = apps::make_query_workload(1000, spec);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_LT(a[i].u, 1000u);
+    EXPECT_LT(a[i].v, 1000u);
+  }
+}
+
+TEST(QueryWorkload, ZipfSkewsSourcesUniformDoesNot) {
+  const Vertex n = 1000;
+  const std::uint64_t q = 5000;
+  const auto count_max = [&](const std::string& dist, double theta) {
+    std::vector<std::uint64_t> freq(n, 0);
+    for (const auto& query :
+         apps::make_query_workload(n, {dist, q, 3, theta})) {
+      EXPECT_LT(query.u, n);
+      ++freq[query.u];
+    }
+    return *std::max_element(freq.begin(), freq.end());
+  };
+  const std::uint64_t zipf_max = count_max("zipf", 1.1);
+  const std::uint64_t uniform_max = count_max("uniform", 0.0);
+  // Zipf: the hottest source dominates; uniform: close to q/n.
+  EXPECT_GT(zipf_max, 20 * q / n);
+  EXPECT_LT(uniform_max, 5 * q / n);
+}
+
+TEST(QueryWorkload, RejectsBadSpecs) {
+  EXPECT_THROW((void)apps::make_query_workload(0, {"uniform", 1, 1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apps::make_query_workload(10, {"pareto", 1, 1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apps::make_query_workload(10, {"zipf", 1, 1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apps::make_query_workload(10, {"zipf", 1, 1, -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

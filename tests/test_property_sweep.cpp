@@ -1,13 +1,24 @@
 // Broad property sweep: the end-to-end guarantees across (family, seed)
 // pairs beyond the targeted cases in test_elkin_matar.cpp.  Each instance
 // checks the full contract: subgraph, stretch bound, connectivity
-// preservation, partition, and per-phase counting.
+// preservation, partition, and per-phase counting.  A second sweep checks
+// the serving layer's property — every distance-oracle answer sandwiched by
+// exact APSP — for all five spanner algorithms.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <tuple>
+#include <vector>
 
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
+#include "baselines/baswana_sen.hpp"
+#include "baselines/elkin_peleg.hpp"
+#include "baselines/en17.hpp"
+#include "baselines/greedy.hpp"
 #include "core/elkin_matar.hpp"
+#include "graph/apsp.hpp"
 #include "graph/generators.hpp"
 #include "verify/checks.hpp"
 #include "verify/stretch.hpp"
@@ -17,6 +28,7 @@ namespace {
 using namespace nas;
 using core::Params;
 using graph::Graph;
+using graph::Vertex;
 
 using SweepCase = std::tuple<std::string, std::uint64_t>;
 
@@ -66,6 +78,97 @@ INSTANTIATE_TEST_SUITE_P(FamiliesBySeeds, EndToEndSweep,
                          [](const auto& info) {
                            return std::get<0>(info.param) + "_s" +
                                   std::to_string(std::get<1>(info.param));
+                         });
+
+// --- distance-oracle guarantee sweep -----------------------------------------
+//
+// The serving-layer property: for every algorithm's spanner, every oracle
+// answer satisfies d_G(u,v) <= answer <= M*d_G(u,v) + A against exact APSP,
+// where (M, A) is the guarantee that algorithm proves.  Runs the answers
+// through the concurrent batch path (2 shards) so the sweep also covers the
+// serving code the fleet uses.
+
+apps::SpannerDistanceOracle make_oracle(const Graph& g,
+                                        const std::string& algo) {
+  const auto params = Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  if (algo == "elkin_matar") {
+    return apps::SpannerDistanceOracle(
+        core::build_spanner(g, params, {.validate = false}));
+  }
+  const auto wrap = [](baselines::BaselineResult r) {
+    return apps::SpannerDistanceOracle(std::move(r.spanner),
+                                       r.stretch_multiplicative,
+                                       r.stretch_additive);
+  };
+  if (algo == "en17") {
+    return wrap(baselines::build_en17_spanner(g, params, 42));
+  }
+  if (algo == "baswana_sen") {
+    return wrap(baselines::build_baswana_sen_spanner(g, 3, 42));
+  }
+  if (algo == "elkin_peleg") {
+    return wrap(baselines::build_elkin_peleg_spanner(g, params));
+  }
+  if (algo == "greedy") {
+    return wrap(baselines::build_greedy_spanner(g, 3));
+  }
+  throw std::invalid_argument("unknown sweep algo " + algo);
+}
+
+using OracleCase = std::tuple<std::string, std::string>;
+
+class OracleGuaranteeSweep : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OracleGuaranteeSweep, AnswersSandwichedByExactApsp) {
+  const auto& [algo, family] = GetParam();
+  const Graph g = graph::make_workload(family, 160, 101);
+  const auto oracle = make_oracle(g, algo);
+  const graph::Apsp exact(g);
+
+  // A structured pair sample plus a generated batch, all answered through
+  // the sharded batch path.
+  std::vector<apps::Query> queries;
+  for (Vertex u = 0; u < g.num_vertices(); u += 5) {
+    for (Vertex v = u; v < g.num_vertices(); v += 7) {
+      queries.push_back({u, v});
+    }
+  }
+  for (const auto& q : apps::make_query_workload(
+           g.num_vertices(), {"uniform", 400, 17, 0.0})) {
+    queries.push_back(q);
+  }
+
+  const auto answers = oracle.batch_query(queries, 2);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto d = exact.dist(queries[i].u, queries[i].v);
+    if (d == graph::kInfDist) {
+      ASSERT_EQ(answers[i], graph::kInfDist);
+      continue;
+    }
+    ASSERT_GE(answers[i], d) << algo << " (" << queries[i].u << ","
+                             << queries[i].v << ")";
+    ASSERT_LE(answers[i],
+              oracle.multiplicative() * d + oracle.additive() + 1e-9)
+        << algo << " (" << queries[i].u << "," << queries[i].v << ") d=" << d;
+  }
+}
+
+std::vector<OracleCase> oracle_cases() {
+  std::vector<OracleCase> cases;
+  for (const char* algo : {"elkin_matar", "en17", "baswana_sen",
+                           "elkin_peleg", "greedy"}) {
+    for (const char* family : {"er", "er_dense", "grid", "ba", "caveman"}) {
+      cases.emplace_back(algo, family);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlgosByFamilies, OracleGuaranteeSweep,
+                         ::testing::ValuesIn(oracle_cases()),
+                         [](const auto& info) {
+                           return std::get<0>(info.param) + "_" +
+                                  std::get<1>(info.param);
                          });
 
 }  // namespace

@@ -86,6 +86,42 @@ TEST(ScenarioMatrix, VerifySourcesDoNotDowngradeExplicitExactMode) {
   EXPECT_EQ(m.verify_mode, "sampled");
 }
 
+TEST(ScenarioMatrix, OracleAxesExpandParseAndTagIds) {
+  run::ScenarioMatrix m;
+  m.set("workload", "uniform, zipf");
+  m.set("cache-budget", "0, 4096");
+  m.set("query-threads", "1,8");
+  m.set("queries", "64");
+  m.set("workload-seed", "9");
+  m.set("zipf-theta", "1.2");
+  ASSERT_EQ(m.size(), 8u);  // 2 workloads x 2 budgets x 2 thread counts
+  const auto specs = m.expand();
+  // workload above cache_budget above query_threads, innermost axes.
+  EXPECT_EQ(specs[0].workload, "uniform");
+  EXPECT_EQ(specs[0].cache_budget, 0u);
+  EXPECT_EQ(specs[0].query_threads, 1u);
+  EXPECT_EQ(specs[1].query_threads, 8u);
+  EXPECT_EQ(specs[2].cache_budget, 4096u);
+  EXPECT_EQ(specs[4].workload, "zipf");
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.queries, 64u);
+    EXPECT_EQ(s.workload_seed, 9u);
+    EXPECT_EQ(s.zipf_theta, 1.2);
+  }
+  // Serving scenarios tag the id with every serving axis; non-serving ids
+  // keep the PR-3 shape.
+  EXPECT_EQ(specs[0].id(),
+            "er/n=1024/seed=1/em/eps=0.25/kappa=3/rho=0.4"
+            "/w=uniform/q=64/cb=0/qt=1");
+  EXPECT_NE(specs[0].id(), specs[1].id());  // query-threads sweep stays unique
+  run::ScenarioSpec off;
+  EXPECT_EQ(off.id(), "er/n=1024/seed=1/em/eps=0.25/kappa=3/rho=0.4");
+  EXPECT_THROW(m.set("workload", "pareto"), std::invalid_argument);
+  EXPECT_THROW(m.set("queries", "-1"), std::invalid_argument);
+  EXPECT_THROW(m.set("cache-budget", "-4096"), std::invalid_argument);
+  EXPECT_THROW(m.set("query-threads", "1,-2"), std::invalid_argument);
+}
+
 TEST(ScenarioMatrix, SetRejectsUnknownKeysAndBadValues) {
   run::ScenarioMatrix m;
   EXPECT_THROW(m.set("bogus", "1"), std::invalid_argument);

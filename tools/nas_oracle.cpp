@@ -1,0 +1,246 @@
+// nas_oracle — build, snapshot, and serve a spanner-backed distance oracle.
+//
+// The serving-side counterpart to nas_run: where nas_run sweeps construction
+// experiments, nas_oracle operates one oracle — build it from a graph (or
+// load a snapshot), optionally save the snapshot, then answer a batch of
+// queries from a file or a generated workload.
+//
+//   # build from a generated graph, save the serving snapshot
+//   ./nas_oracle --family er --n 2000 --seed 1 --eps 0.25 --save oracle.naso
+//
+//   # serve a zipfian heavy-traffic batch from the snapshot, 8 shards
+//   ./nas_oracle --load oracle.naso --workload zipf --queries 20000
+//                --query-threads 8 --cache-budget 16777216 --answers out.txt
+//
+//   # answer an explicit query file ("u v" lines, '#' comments)
+//   ./nas_oracle --load oracle.naso --query-file pairs.txt --answers out.txt
+//
+// The answers file has one "u v d" line per request in request order (d is
+// "inf" for disconnected pairs) and is byte-identical at every
+// --query-threads value and every --cache-budget — that invariant is CI's
+// cmp gate over this binary.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
+#include "core/params.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "run/scenario.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+using namespace nas;
+
+namespace {
+
+/// Reads "u v" request lines ('#' comments, blank lines allowed), with the
+/// read_edge_list line-numbered error contract.
+std::vector<apps::Query> read_query_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open query file " + path);
+  std::vector<apps::Query> queries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
+    std::istringstream ls(line);
+    apps::Query q;
+    std::string trailing;
+    if (!(ls >> q.u >> q.v) || (ls >> trailing)) {
+      throw std::runtime_error(path + ": malformed query line (expected 'u v')"
+                               " at line " + std::to_string(line_no));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void write_answers(const std::vector<apps::Query>& queries,
+                   const std::vector<std::uint32_t>& answers,
+                   std::ostream& out) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out << queries[i].u << ' ' << queries[i].v << ' ';
+    if (answers[i] == graph::kInfDist) {
+      out << "inf";
+    } else {
+      out << answers[i];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv);
+
+    // Oracle source: a snapshot, or a graph + schedule to build from.
+    const std::string load_path =
+        flags.str("load", "", "load a serving snapshot instead of building");
+    const std::string family = flags.str(
+        "family", "er", "graph family (or file:<path> for an edge list)");
+    const auto n = static_cast<graph::Vertex>(
+        flags.integer("n", 1024, "target vertex count (generated families)"));
+    const auto seed = static_cast<std::uint64_t>(
+        flags.integer("seed", 1, "graph generator seed"));
+    const double eps = flags.real("eps", 0.25, "schedule epsilon");
+    const int kappa = static_cast<int>(flags.integer("kappa", 3, "schedule kappa"));
+    const double rho = flags.real("rho", 0.4, "schedule rho");
+    const std::string mode =
+        flags.str("mode", "practical", "schedule mode: practical|paper");
+    const std::string save_path =
+        flags.str("save", "", "write the serving snapshot to this path");
+
+    // Serving configuration.  Negative values would wrap to huge unsigned
+    // ones (an accidentally unbounded cache), so they are rejected here.
+    const auto non_negative = [&](const char* name, std::int64_t fallback,
+                                  const char* desc) {
+      const auto parsed = flags.integer(name, fallback, desc);
+      if (parsed < 0) {
+        throw std::invalid_argument(std::string("flag --") + name +
+                                    " must be non-negative, got " +
+                                    std::to_string(parsed));
+      }
+      return parsed;
+    };
+    const auto cache_budget = static_cast<std::uint64_t>(non_negative(
+        "cache-budget", 64 << 20, "source-cache budget in bytes, 0 = off"));
+    const auto query_threads = static_cast<unsigned>(non_negative(
+        "query-threads", 1, "batch-query shards, 0 = all cores"));
+
+    // Requests: an explicit file, or a generated workload.
+    const std::string query_file =
+        flags.str("query-file", "", "answer 'u v' request lines from this file");
+    const std::string workload = flags.str(
+        "workload", "", "generate requests: uniform|zipf (empty = none)");
+    const auto num_queries = static_cast<std::uint64_t>(
+        non_negative("queries", 1000, "generated requests"));
+    const auto workload_seed = static_cast<std::uint64_t>(
+        flags.integer("workload-seed", 1, "request-generator seed"));
+    const double zipf_theta =
+        flags.real("zipf-theta", 0.99, "zipf skew exponent");
+
+    const std::string answers_path =
+        flags.str("answers", "", "write 'u v d' answer lines to this file");
+    const std::string stats_path =
+        flags.str("stats-json", "", "write serving stats JSON to this file");
+
+    if (flags.handle_help(
+            "nas_oracle — build/save/load a distance oracle and serve query "
+            "batches")) {
+      return 0;
+    }
+    flags.reject_unknown();
+
+    const apps::OracleOptions oracle_options{.cache_budget_bytes = cache_budget};
+    util::Timer build_timer;
+    apps::SpannerDistanceOracle oracle = [&] {
+      if (!load_path.empty()) {
+        return apps::SpannerDistanceOracle::load_file(load_path,
+                                                      oracle_options);
+      }
+      const graph::Graph g = family.rfind("file:", 0) == 0
+                                 ? graph::read_edge_list_file(family.substr(5))
+                                 : graph::make_workload(family, n, seed);
+      const auto params =
+          mode == "paper"
+              ? core::Params::paper(g.num_vertices(), eps, kappa, rho)
+              : core::Params::practical(g.num_vertices(), eps, kappa, rho);
+      return apps::SpannerDistanceOracle(g, params, oracle_options);
+    }();
+    const double build_ms = build_timer.millis();
+    std::cerr << "oracle: " << oracle.spanner().summary() << ", guarantee d_H <= "
+              << oracle.multiplicative() << "*d_G + " << oracle.additive()
+              << ", cache capacity " << oracle.cache_capacity()
+              << " sources\n";
+
+    if (!save_path.empty()) {
+      oracle.save_file(save_path);
+      std::cerr << "saved snapshot to " << save_path << "\n";
+    }
+
+    std::vector<apps::Query> queries;
+    if (!query_file.empty()) {
+      queries = read_query_file(query_file);
+    } else if (!workload.empty()) {
+      queries = apps::make_query_workload(
+          oracle.spanner().num_vertices(),
+          {workload, num_queries, workload_seed, zipf_theta});
+    }
+
+    apps::BatchStats stats;
+    std::vector<std::uint32_t> answers;
+    util::Timer serve_timer;
+    if (!queries.empty()) {
+      answers = oracle.batch_query(queries, query_threads, &stats);
+    }
+    const double serve_ms = serve_timer.millis();
+
+    if (!queries.empty()) {
+      std::cerr << "served " << stats.queries << " queries ("
+                << stats.distinct_sources << " sources, " << stats.cache_hits
+                << " cached, " << stats.bfs_passes << " BFS, "
+                << stats.evictions << " evictions)\n";
+    }
+    if (!answers_path.empty()) {
+      // The file is created even for an empty request set (a query file of
+      // only comments, --queries 0) so downstream cmp-style gates compare
+      // real output instead of failing on a missing file; asking for
+      // answers with no request source at all is a usage error.
+      if (query_file.empty() && workload.empty()) {
+        throw std::runtime_error(
+            "--answers needs requests: pass --query-file or --workload");
+      }
+      std::ofstream out(answers_path);
+      if (!out) {
+        throw std::runtime_error("cannot open answers file " + answers_path);
+      }
+      write_answers(queries, answers, out);
+      std::cerr << "wrote " << queries.size() << " answers to " << answers_path
+                << "\n";
+    } else if (!queries.empty()) {
+      write_answers(queries, answers, std::cout);
+    }
+
+    if (!stats_path.empty()) {
+      const util::JsonObject fields{
+          {"spanner_edges",
+           util::JsonValue::number(
+               static_cast<std::uint64_t>(oracle.spanner_edges()))},
+          {"guarantee_mult",
+           util::JsonValue::literal(run::format_real(oracle.multiplicative()))},
+          {"guarantee_add",
+           util::JsonValue::literal(run::format_real(oracle.additive()))},
+          {"cache_capacity", util::JsonValue::number(oracle.cache_capacity())},
+          {"queries", util::JsonValue::number(stats.queries)},
+          {"distinct_sources", util::JsonValue::number(stats.distinct_sources)},
+          {"cache_hits", util::JsonValue::number(stats.cache_hits)},
+          {"bfs_passes", util::JsonValue::number(stats.bfs_passes)},
+          {"evictions", util::JsonValue::number(stats.evictions)},
+          {"digest", util::JsonValue::hex64(apps::digest_answers(answers))},
+          {"build_ms",
+           util::JsonValue::literal(run::format_real(build_ms, 4))},
+          {"serve_ms",
+           util::JsonValue::literal(run::format_real(serve_ms, 4))},
+      };
+      std::ofstream out(stats_path);
+      if (!out) throw std::runtime_error("cannot open stats file " + stats_path);
+      out << util::render_json_object(fields) << "\n";
+      std::cerr << "wrote stats to " << stats_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "nas_oracle: error: " << e.what() << "\n";
+    return 2;
+  }
+}
