@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -61,6 +64,43 @@ std::vector<Query> make_query_workload(Vertex n, const WorkloadSpec& spec) {
 
   throw std::invalid_argument("make_query_workload: unknown distribution \"" +
                               spec.dist + "\" (expected uniform|zipf)");
+}
+
+std::vector<Query> read_query_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open query file " + path);
+  std::vector<Query> queries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
+    std::istringstream ls(line);
+    Query q;
+    std::string trailing;
+    if (!(ls >> q.u >> q.v) || (ls >> trailing)) {
+      throw std::runtime_error(path + ": malformed query line (expected 'u v')"
+                               " at line " + std::to_string(line_no));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void write_answers(const std::vector<Query>& queries,
+                   const std::vector<std::uint32_t>& answers,
+                   std::ostream& out) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out << queries[i].u << ' ' << queries[i].v << ' ';
+    if (answers[i] == graph::kInfDist) {
+      out << "inf";
+    } else {
+      out << answers[i];
+    }
+    out << '\n';
+  }
 }
 
 }  // namespace nas::apps

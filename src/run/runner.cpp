@@ -11,6 +11,7 @@
 #include "congest/substrate.hpp"
 #include "core/elkin_matar.hpp"
 #include "core/params.hpp"
+#include "serve/cluster.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -84,30 +85,50 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
 
     if (spec.workload != "off") {
       // Serving stage: build the oracle over the produced spanner (identity
-      // rows serve exact distances) and answer one generated batch.  Every
-      // recorded field is deterministic at any query-thread count and cache
-      // budget; only oracle_wall_ms is not.
+      // rows serve exact distances) and answer one generated batch — through
+      // one oracle, or through a ShardedCluster when the spec asks for one.
+      // Every recorded field is deterministic at any query-thread count,
+      // cache budget, and shard count; only oracle_wall_ms is not.
       util::Timer oracle_timer;
       const apps::WorkloadSpec workload_spec{spec.workload, spec.queries,
                                              spec.workload_seed,
                                              spec.zipf_theta};
       const auto requests =
           apps::make_query_workload(spanner->num_vertices(), workload_spec);
-      const apps::SpannerDistanceOracle oracle(
-          *spanner, row.guarantee_mult, row.guarantee_add,
-          {.cache_budget_bytes = spec.cache_budget});
-      apps::BatchStats stats;
-      const auto answers =
-          oracle.batch_query(requests, spec.query_threads, &stats);
+      if (spec.cluster_shards == 0) {
+        const apps::SpannerDistanceOracle oracle(
+            *spanner, row.guarantee_mult, row.guarantee_add,
+            {.cache_budget_bytes = spec.cache_budget});
+        apps::BatchStats stats;
+        const auto answers =
+            oracle.batch_query(requests, spec.query_threads, &stats);
+        row.oracle_queries = stats.queries;
+        row.oracle_shards = stats.shards;
+        row.oracle_sources = stats.distinct_sources;
+        row.oracle_cache_hits = stats.cache_hits;
+        row.oracle_bfs_passes = stats.bfs_passes;
+        row.oracle_evictions = stats.evictions;
+        row.oracle_digest = apps::digest_answers(answers);
+      } else {
+        serve::ShardedCluster cluster(
+            *spanner, row.guarantee_mult, row.guarantee_add,
+            {.shards = spec.cluster_shards,
+             .partition = spec.partition,
+             .shard_cache_budget_bytes = spec.cache_budget});
+        serve::ClusterStats stats;
+        const auto answers =
+            cluster.serve(requests, spec.query_threads, &stats);
+        row.oracle_queries = stats.requests;
+        row.oracle_shards = stats.shards_used;
+        row.oracle_sources = stats.distinct_sources;
+        row.oracle_cache_hits = stats.cache_hits;
+        row.oracle_bfs_passes = stats.bfs_passes;
+        row.oracle_evictions = stats.evictions;
+        row.oracle_digest = apps::digest_answers(answers);
+        row.cluster_shards_used = stats.shards_used;
+      }
+      row.served = true;  // only after the stage ran; a throw leaves false
       row.oracle_wall_ms = oracle_timer.millis();
-      row.served = true;
-      row.oracle_queries = stats.queries;
-      row.oracle_shards = stats.shards;
-      row.oracle_sources = stats.distinct_sources;
-      row.oracle_cache_hits = stats.cache_hits;
-      row.oracle_bfs_passes = stats.bfs_passes;
-      row.oracle_evictions = stats.evictions;
-      row.oracle_digest = apps::digest_answers(answers);
     }
 
     if (options.keep_graphs) {

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "serve/partition.hpp"
+
 namespace nas::run {
 
 std::string format_real(double v, int digits) {
@@ -45,6 +47,12 @@ std::string ScenarioSpec::id() const {
     out += std::to_string(cache_budget);
     out += "/qt=";
     out += std::to_string(query_threads);
+    if (cluster_shards > 0) {
+      out += "/cs=";
+      out += std::to_string(cluster_shards);
+      out += "/";
+      out += partition;
+    }
   }
   return out;
 }
@@ -62,40 +70,45 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
                 for (const auto rho : rhos)
                   for (const auto& workload : workloads)
                     for (const auto cache_budget : cache_budgets)
-                      for (const auto threads : query_threads) {
-                        ScenarioSpec s;
-                        s.family = family;
-                        s.n = n;
-                        s.seed = seed;
-                        s.algo = algo;
-                        s.algo_seed = algo_seed;
-                        s.eps = eps;
-                        s.kappa = kappa;
-                        s.rho = rho;
-                        s.mode = mode;
-                        s.substrate = substrate;
-                        s.build_threads = build_threads;
-                        s.crosscheck = crosscheck;
-                        s.validate = validate;
-                        s.verify_mode = verify_mode;
-                        s.verify_sources = verify_sources;
-                        s.verify_threads = verify_threads;
-                        s.verify_seed = verify_seed;
-                        s.workload = workload;
-                        s.queries = queries;
-                        s.workload_seed = workload_seed;
-                        s.zipf_theta = zipf_theta;
-                        s.cache_budget = cache_budget;
-                        s.query_threads = threads;
-                        specs.push_back(std::move(s));
-                      }
+                      for (const auto threads : query_threads)
+                        for (const auto shards : cluster_shards)
+                          for (const auto& partition : partitions) {
+                            ScenarioSpec s;
+                            s.family = family;
+                            s.n = n;
+                            s.seed = seed;
+                            s.algo = algo;
+                            s.algo_seed = algo_seed;
+                            s.eps = eps;
+                            s.kappa = kappa;
+                            s.rho = rho;
+                            s.mode = mode;
+                            s.substrate = substrate;
+                            s.build_threads = build_threads;
+                            s.crosscheck = crosscheck;
+                            s.validate = validate;
+                            s.verify_mode = verify_mode;
+                            s.verify_sources = verify_sources;
+                            s.verify_threads = verify_threads;
+                            s.verify_seed = verify_seed;
+                            s.workload = workload;
+                            s.queries = queries;
+                            s.workload_seed = workload_seed;
+                            s.zipf_theta = zipf_theta;
+                            s.cache_budget = cache_budget;
+                            s.query_threads = threads;
+                            s.cluster_shards = shards;
+                            s.partition = partition;
+                            specs.push_back(std::move(s));
+                          }
   return specs;
 }
 
 std::size_t ScenarioMatrix::size() const {
   return families.size() * ns.size() * seeds.size() * algos.size() *
          algo_seeds.size() * epss.size() * kappas.size() * rhos.size() *
-         workloads.size() * cache_budgets.size() * query_threads.size();
+         workloads.size() * cache_budgets.size() * query_threads.size() *
+         cluster_shards.size() * partitions.size();
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -210,6 +223,14 @@ void ScenarioMatrix::set(const std::string& key, const std::string& value) {
     cache_budgets = parse_list<std::uint64_t>(key, value, non_negative);
   } else if (key == "query-threads") {
     query_threads = parse_list<unsigned>(key, value, non_negative);
+  } else if (key == "cluster-shards") {
+    cluster_shards = parse_list<unsigned>(key, value, non_negative);
+  } else if (key == "partition") {
+    partitions = parse_list<std::string>(
+        key, value, [](const std::string&, const std::string& v) {
+          (void)serve::parse_partition(v);  // validates; throws on bad names
+          return v;
+        });
   } else if (key == "queries") {
     queries = static_cast<std::uint64_t>(non_negative(key, value));
   } else if (key == "workload-seed") {
@@ -249,6 +270,9 @@ void ScenarioMatrix::apply_flags(const util::Flags& flags) {
       {"workload", "off", "oracle serving workloads: off|uniform|zipf (comma list)"},
       {"cache-budget", "67108864", "oracle cache budgets in bytes (comma list)"},
       {"query-threads", "1", "oracle batch shards, 0 = all cores (comma list)"},
+      {"cluster-shards", "0",
+       "serving-cluster shard counts, 0 = single oracle (comma list)"},
+      {"partition", "hash", "cluster partitioners: hash|range (comma list)"},
       {"queries", "1000", "oracle requests per batch"},
       {"workload-seed", "1", "oracle request-generator seed"},
       {"zipf-theta", "0.99", "zipf workload skew exponent"},

@@ -71,10 +71,19 @@ struct ScenarioSpec {
   std::uint64_t cache_budget = 64 << 20;  ///< oracle source-cache bytes
   unsigned query_threads = 1;             ///< batch shards, 0 = all cores
 
+  // Sharded serving-cluster stage (serve::ShardedCluster): 0 serves the
+  // batch through one DistanceOracle (PR 4's path); >= 1 partitions serving
+  // across that many shard oracles, each with its own `cache_budget` cache,
+  // routed by `partition` ("hash" | "range").  Answers are byte-identical
+  // either way — the cluster axes only move the counters.
+  unsigned cluster_shards = 0;
+  std::string partition = "hash";
+
   /// Compact deterministic identifier, e.g.
   /// "er/n=512/seed=1/em/eps=0.25/kappa=3/rho=0.4"; serving scenarios append
-  /// "/w=<workload>/q=<queries>/cb=<cache_budget>/qt=<query_threads>" so
-  /// every expansion axis is visible in the id (rows of a serving sweep stay
+  /// "/w=<workload>/q=<queries>/cb=<cache_budget>/qt=<query_threads>" (and
+  /// clustered ones "/cs=<cluster_shards>/<partition>") so every expansion
+  /// axis is visible in the id (rows of a serving sweep stay
   /// distinguishable in logs and grouped sink output).
   [[nodiscard]] std::string id() const;
 };
@@ -93,6 +102,9 @@ struct ScenarioMatrix {
   std::vector<std::string> workloads{"off"};
   std::vector<std::uint64_t> cache_budgets{64 << 20};
   std::vector<unsigned> query_threads{1};
+  // Serving-cluster axes: shard counts (0 = single oracle) and partitioners.
+  std::vector<unsigned> cluster_shards{0};
+  std::vector<std::string> partitions{"hash"};
 
   // Scalar (non-matrix) settings copied into every spec.
   std::string mode = "practical";
@@ -110,8 +122,8 @@ struct ScenarioMatrix {
 
   /// The cross product in fixed nesting order — family outermost, then n,
   /// seed, algo, algo_seed, eps, kappa, rho, workload, cache_budget,
-  /// query_threads innermost.  Deterministic: the i-th spec depends only on
-  /// the axis lists, never on execution.
+  /// query_threads, cluster_shards, partition innermost.  Deterministic: the
+  /// i-th spec depends only on the axis lists, never on execution.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Number of specs expand() will produce.

@@ -48,6 +48,10 @@ util::JsonObject row_fields(const ResultRow& row, const SinkOptions& options) {
       {"oracle_bfs", JsonValue::number(row.oracle_bfs_passes)},
       {"oracle_evictions", JsonValue::number(row.oracle_evictions)},
       {"oracle_digest", JsonValue::hex64(row.oracle_digest)},
+      {"cluster_shards",
+       JsonValue::number(static_cast<std::uint64_t>(spec.cluster_shards))},
+      {"cluster_partition", JsonValue::str(spec.partition)},
+      {"cluster_shards_used", JsonValue::number(row.cluster_shards_used)},
       {"ok", JsonValue::boolean(row.ok)},
       {"error", JsonValue::str(row.error)},
   };

@@ -1,0 +1,138 @@
+#include "serve/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace nas::serve {
+
+namespace {
+
+std::vector<apps::SpannerDistanceOracle> replicate(
+    const graph::Graph& spanner, double multiplicative, double additive,
+    const ClusterOptions& options) {
+  const apps::OracleOptions oracle_options{
+      .cache_budget_bytes = options.shard_cache_budget_bytes};
+  std::vector<apps::SpannerDistanceOracle> shards;
+  shards.reserve(options.shards);
+  for (unsigned s = 0; s < options.shards; ++s) {
+    shards.emplace_back(graph::Graph(spanner), multiplicative, additive,
+                        oracle_options);
+  }
+  return shards;
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(std::vector<apps::SpannerDistanceOracle> shards,
+                               const ClusterOptions& options)
+    : partitioner_(parse_partition(options.partition), options.shards,
+                   shards.empty() ? 0 : shards.front().spanner().num_vertices()),
+      shards_(std::move(shards)) {
+  if (shards_.size() != options.shards) {
+    throw std::invalid_argument("ShardedCluster: shard count mismatch");
+  }
+}
+
+ShardedCluster::ShardedCluster(const graph::Graph& spanner,
+                               double multiplicative, double additive,
+                               const ClusterOptions& options)
+    : ShardedCluster(replicate(spanner, multiplicative, additive, options),
+                     options) {}
+
+ShardedCluster ShardedCluster::from_snapshot_files(
+    const std::vector<std::string>& paths, const ClusterOptions& options) {
+  if (paths.empty()) {
+    throw std::runtime_error(
+        "ShardedCluster: need at least one snapshot path");
+  }
+  if (paths.size() != 1 && paths.size() != options.shards) {
+    throw std::runtime_error(
+        "ShardedCluster: pass one snapshot for every shard (got " +
+        std::to_string(paths.size()) + " paths for " +
+        std::to_string(options.shards) + " shards) or one to replicate");
+  }
+  const apps::OracleOptions oracle_options{
+      .cache_budget_bytes = options.shard_cache_budget_bytes};
+
+  if (paths.size() == 1) {
+    // One snapshot, replicated: load once, copy the structure per shard.
+    const auto loaded =
+        apps::SpannerDistanceOracle::load_file(paths.front(), oracle_options);
+    return ShardedCluster(loaded.spanner(), loaded.multiplicative(),
+                          loaded.additive(), options);
+  }
+
+  std::vector<apps::SpannerDistanceOracle> shards;
+  shards.reserve(paths.size());
+  for (const auto& path : paths) {
+    shards.push_back(
+        apps::SpannerDistanceOracle::load_file(path, oracle_options));
+  }
+  // Every shard must serve the same structure; %.17g snapshot rendering
+  // round-trips doubles exactly, so guarantee agreement is bit-exact, and
+  // the edge count catches snapshots from different builds that happen to
+  // share the universe and the schedule (a drift guard, not a full
+  // edge-set comparison).
+  const auto& first = shards.front();
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].spanner().num_vertices() != first.spanner().num_vertices()) {
+      throw std::runtime_error("ShardedCluster: snapshot " + paths[s] +
+                               " disagrees on the vertex universe");
+    }
+    if (shards[s].spanner_edges() != first.spanner_edges()) {
+      throw std::runtime_error("ShardedCluster: snapshot " + paths[s] +
+                               " disagrees on the spanner edge count");
+    }
+    if (shards[s].multiplicative() != first.multiplicative() ||
+        shards[s].additive() != first.additive()) {
+      throw std::runtime_error("ShardedCluster: snapshot " + paths[s] +
+                               " disagrees on the guarantee pair");
+    }
+  }
+  return ShardedCluster(std::move(shards), options);
+}
+
+std::vector<std::uint32_t> ShardedCluster::serve(
+    std::span<const apps::Query> batch, unsigned threads, ClusterStats* stats) {
+  const Router router(partitioner_);
+  const auto plan = router.plan(batch);
+
+  // Execute the sub-batches: each ThreadPool slot owns a contiguous block of
+  // shards and touches only those shards' oracles, answer slots, and stats
+  // slots, so the shard results are independent of the slot count.  Empty
+  // shards are skipped (their cache state and counters stay untouched).
+  std::vector<std::vector<std::uint32_t>> shard_answers(shards_.size());
+  std::vector<apps::BatchStats> shard_stats(shards_.size());
+  util::ThreadPool::run_sharded(
+      shards_.size(), threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          if (plan.queries[s].empty()) continue;
+          shard_answers[s] =
+              shards_[s].batch_query(plan.queries[s], 1, &shard_stats[s]);
+        }
+      });
+
+  if (stats != nullptr) {
+    *stats = ClusterStats{};
+    stats->requests = batch.size();
+    stats->shards_used = plan.shards_used();
+    stats->per_shard.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      auto& c = stats->per_shard[s];
+      c.requests = plan.queries[s].size();
+      c.distinct_sources = shard_stats[s].distinct_sources;
+      c.cache_hits = shard_stats[s].cache_hits;
+      c.bfs_passes = shard_stats[s].bfs_passes;
+      c.evictions = shard_stats[s].evictions;
+      stats->distinct_sources += c.distinct_sources;
+      stats->cache_hits += c.cache_hits;
+      stats->bfs_passes += c.bfs_passes;
+      stats->evictions += c.evictions;
+    }
+  }
+  return Router::merge(plan, shard_answers, batch.size());
+}
+
+}  // namespace nas::serve

@@ -1,0 +1,118 @@
+// Sharded distance-oracle serving cluster.
+//
+// PR 4's serving layer stopped at one DistanceOracle per process — one
+// snapshot, one bounded cache, one batch loop.  Memory per node is exactly
+// the constraint that motivates partitioned deployments, and the
+// linear-size spanner is what makes partitioning viable: every shard can
+// afford the whole structure (O(β·n^{1+1/κ}) edges), so only the *cache* —
+// the 4·n-bytes-per-source part that actually grows with traffic — needs
+// partitioning.  A ShardedCluster is N shard oracles, each owning a private
+// copy of the spanner plus its own byte-budgeted source cache, fronted by a
+// Router that assigns every request to the shard owning its routing key.
+//
+// Determinism contract (the repo's signature guarantee, extended to the
+// cluster): the answer vector returned by `serve` is byte-identical
+//   * at every `threads` value (shards execute on disjoint oracles),
+//   * at every shard count (each answer is d_H(u,v), which no oracle's
+//     cache state can change), and
+//   * to a single SpannerDistanceOracle::batch_query over the same batch.
+// The served counters (requests, cache hits, BFS passes, evictions per
+// shard) are pure functions of (partitioner, batch history) — never of
+// thread scheduling — so tests and CI compare counters and digests, not
+// wall-clock, which is meaningless on shared runners.
+//
+// Thread-safety: one serve() at a time per cluster; the concurrency happens
+// inside, across disjoint shard oracles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "serve/partition.hpp"
+#include "serve/router.hpp"
+
+namespace nas::serve {
+
+struct ClusterOptions {
+  unsigned shards = 1;
+  std::string partition = "hash";  ///< "hash" | "range"
+  /// Source-cache budget *per shard* in bytes (each shard resolves it to a
+  /// source count exactly like OracleOptions::cache_budget_bytes).
+  std::uint64_t shard_cache_budget_bytes = 64ull << 20;
+};
+
+/// Deterministic per-shard serving counters.
+struct ShardCounters {
+  std::uint64_t requests = 0;         ///< sub-batch requests routed here
+  std::uint64_t distinct_sources = 0; ///< deduplicated BFS sources
+  std::uint64_t cache_hits = 0;
+  std::uint64_t bfs_passes = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// One serve() call's diagnostics: per-shard counters plus their totals.
+struct ClusterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t shards_used = 0;  ///< shards that received >= 1 request
+  std::uint64_t distinct_sources = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t bfs_passes = 0;
+  std::uint64_t evictions = 0;
+  std::vector<ShardCounters> per_shard;
+};
+
+class ShardedCluster {
+ public:
+  /// Partitions serving of `spanner` (guarantee d_H <= multiplicative·d_G +
+  /// additive) across options.shards oracles.  Each shard copies the
+  /// spanner; per-shard memory is |H| plus the shard's cache budget.
+  ShardedCluster(const graph::Graph& spanner, double multiplicative,
+                 double additive, const ClusterOptions& options = {});
+
+  /// Warm-starts every shard from one NAS-ORACLE snapshot (loaded once,
+  /// replicated), or from per-shard snapshot paths — `paths` must then have
+  /// exactly options.shards entries, and every snapshot must agree on the
+  /// vertex universe and the guarantee pair (std::runtime_error names the
+  /// first disagreeing shard otherwise).
+  [[nodiscard]] static ShardedCluster from_snapshot_files(
+      const std::vector<std::string>& paths, const ClusterOptions& options = {});
+
+  /// Routes `batch` to its shards, executes the sub-batches across `threads`
+  /// util::ThreadPool slots (0 = hardware concurrency; each slot serves a
+  /// contiguous block of shards, each shard's batch_query runs serially),
+  /// and merges the answers back into batch order.  See the file comment
+  /// for the byte-identity contract.  `stats`, when non-null, receives the
+  /// deterministic serving counters.
+  [[nodiscard]] std::vector<std::uint32_t> serve(
+      std::span<const apps::Query> batch, unsigned threads = 1,
+      ClusterStats* stats = nullptr);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] const Partitioner& partitioner() const { return partitioner_; }
+  [[nodiscard]] const apps::SpannerDistanceOracle& shard(unsigned s) const {
+    return shards_.at(s);
+  }
+  [[nodiscard]] double multiplicative() const {
+    return shards_.front().multiplicative();
+  }
+  [[nodiscard]] double additive() const { return shards_.front().additive(); }
+  [[nodiscard]] graph::Vertex universe() const {
+    return partitioner_.universe();
+  }
+
+ private:
+  ShardedCluster(std::vector<apps::SpannerDistanceOracle> shards,
+                 const ClusterOptions& options);
+
+  Partitioner partitioner_;
+  std::vector<apps::SpannerDistanceOracle> shards_;
+};
+
+}  // namespace nas::serve

@@ -1,0 +1,44 @@
+#include "serve/partition.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nas::serve {
+
+PartitionKind parse_partition(const std::string& name) {
+  if (name == "hash") return PartitionKind::kHash;
+  if (name == "range") return PartitionKind::kRange;
+  throw std::invalid_argument("unknown partition \"" + name +
+                              "\" (expected hash|range)");
+}
+
+std::string partition_name(PartitionKind kind) {
+  return kind == PartitionKind::kHash ? "hash" : "range";
+}
+
+Partitioner::Partitioner(PartitionKind kind, unsigned shards, graph::Vertex n)
+    : kind_(kind), shards_(shards), n_(n) {
+  if (shards == 0) {
+    throw std::invalid_argument("Partitioner: shards must be >= 1");
+  }
+  if (n == 0) {
+    throw std::invalid_argument("Partitioner: empty vertex universe");
+  }
+}
+
+unsigned Partitioner::shard_of(graph::Vertex v) const {
+  if (v >= n_) {
+    throw std::invalid_argument("Partitioner: vertex out of range");
+  }
+  if (kind_ == PartitionKind::kHash) {
+    return static_cast<unsigned>(util::mix64(v) % shards_);
+  }
+  // Inverse of the ThreadPool::shard block split [⌊n·i/s⌋, ⌊n·(i+1)/s⌋):
+  // the owner of v is the largest i with ⌊n·i/s⌋ <= v, which is
+  // ⌊((v+1)·s − 1)/n⌋.
+  return static_cast<unsigned>(
+      ((static_cast<std::uint64_t>(v) + 1) * shards_ - 1) / n_);
+}
+
+}  // namespace nas::serve

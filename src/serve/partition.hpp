@@ -1,0 +1,63 @@
+// Deterministic vertex partitioning for the sharded serving cluster.
+//
+// A Partitioner maps every vertex of the serving universe [0, n) to one of
+// `shards` shard IDs, as a pure function of (kind, shards, n, vertex) — no
+// RNG state, no platform-dependent hashing — so a routing decision made on
+// one machine is the routing decision made on every machine, and a request
+// log replays onto the same shards forever.  Two strategies:
+//
+//   * "hash":  shard_of(v) = mix64(v) % shards.  The SplitMix finalizer
+//     scatters consecutive IDs, so hot vertex ranges (low IDs in generated
+//     graphs, BFS-ordered IDs in real ones) spread across the cluster.
+//   * "range": contiguous blocks, the same near-equal split
+//     util::ThreadPool::shard uses — shard i owns
+//     [n·i/shards, n·(i+1)/shards).  Keeps locality (a crawl of one region
+//     hits one shard) at the price of skew under hot ranges.
+//
+// Queries are routed by their *routing key*: min(u, v).  Both orientations
+// of a pair land on the same shard, so that shard's bounded cache sees every
+// repetition of the pair — the same endpoint-canonicalization the
+// single-oracle planner uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace nas::serve {
+
+enum class PartitionKind { kHash, kRange };
+
+/// Parses "hash" | "range"; throws std::invalid_argument otherwise.
+[[nodiscard]] PartitionKind parse_partition(const std::string& name);
+
+/// The canonical name ("hash" | "range") for a kind.
+[[nodiscard]] std::string partition_name(PartitionKind kind);
+
+class Partitioner {
+ public:
+  /// A partitioner over vertex universe [0, n) with `shards` shards.
+  /// Throws std::invalid_argument when shards == 0 or n == 0.
+  Partitioner(PartitionKind kind, unsigned shards, graph::Vertex n);
+
+  [[nodiscard]] unsigned shards() const { return shards_; }
+  [[nodiscard]] graph::Vertex universe() const { return n_; }
+  [[nodiscard]] PartitionKind kind() const { return kind_; }
+  [[nodiscard]] std::string name() const { return partition_name(kind_); }
+
+  /// The owning shard of `v`; requires v < universe().
+  [[nodiscard]] unsigned shard_of(graph::Vertex v) const;
+
+  /// The shard serving the pair (u, v): shard_of(min(u, v)).
+  [[nodiscard]] unsigned shard_of_pair(graph::Vertex u, graph::Vertex v) const {
+    return shard_of(u < v ? u : v);
+  }
+
+ private:
+  PartitionKind kind_;
+  unsigned shards_;
+  graph::Vertex n_;
+};
+
+}  // namespace nas::serve

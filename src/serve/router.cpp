@@ -1,0 +1,52 @@
+#include "serve/router.hpp"
+
+#include <stdexcept>
+
+namespace nas::serve {
+
+std::uint64_t RoutePlan::shards_used() const {
+  std::uint64_t used = 0;
+  for (const auto& q : queries) used += q.empty() ? 0 : 1;
+  return used;
+}
+
+RoutePlan Router::plan(std::span<const apps::Query> batch) const {
+  // Validate the whole batch first so a bad request never leaves a partial
+  // plan behind (shard_of throws on out-of-range vertices).
+  const auto n = partitioner_.universe();
+  for (const auto& q : batch) {
+    if (q.u >= n || q.v >= n) {
+      throw std::invalid_argument("Router: query vertex out of range");
+    }
+  }
+  RoutePlan plan;
+  plan.queries.resize(partitioner_.shards());
+  plan.slots.resize(partitioner_.shards());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto s = partitioner_.shard_of_pair(batch[i].u, batch[i].v);
+    plan.queries[s].push_back(batch[i]);
+    plan.slots[s].push_back(i);
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> Router::merge(
+    const RoutePlan& plan,
+    const std::vector<std::vector<std::uint32_t>>& shard_answers,
+    std::size_t batch_size) {
+  if (shard_answers.size() != plan.queries.size()) {
+    throw std::invalid_argument("Router::merge: shard count mismatch");
+  }
+  std::vector<std::uint32_t> answers(batch_size, 0);
+  for (std::size_t s = 0; s < shard_answers.size(); ++s) {
+    if (shard_answers[s].size() != plan.slots[s].size()) {
+      throw std::invalid_argument("Router::merge: sub-batch size mismatch");
+    }
+    for (std::size_t i = 0; i < shard_answers[s].size(); ++i) {
+      answers[plan.slots[s][i]] = shard_answers[s][i];
+    }
+  }
+  return answers;
+}
+
+}  // namespace nas::serve

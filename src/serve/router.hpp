@@ -1,0 +1,56 @@
+// Request routing for the sharded serving cluster.
+//
+// `Router::plan` splits one request batch into per-shard sub-batches: every
+// request goes to the shard owning its routing key (see
+// Partitioner::shard_of_pair), sub-batches preserve arrival order, and the
+// plan records each sub-request's slot in the original batch so
+// `Router::merge` can scatter the per-shard answer vectors back into request
+// order.  A plan is a pure function of (partitioner, batch) — no cache
+// state, no thread count — which is the first half of the cluster's
+// determinism contract (the second half is the per-shard oracle's own
+// answers-never-depend-on-threads guarantee).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "serve/partition.hpp"
+
+namespace nas::serve {
+
+/// One batch split into per-shard sub-batches, arrival order preserved.
+struct RoutePlan {
+  /// queries[s] is shard s's sub-batch.
+  std::vector<std::vector<apps::Query>> queries;
+  /// slots[s][i] is the original batch index of queries[s][i].
+  std::vector<std::vector<std::size_t>> slots;
+
+  /// Shards with at least one request in this plan.
+  [[nodiscard]] std::uint64_t shards_used() const;
+};
+
+class Router {
+ public:
+  explicit Router(const Partitioner& partitioner) : partitioner_(partitioner) {}
+
+  [[nodiscard]] const Partitioner& partitioner() const { return partitioner_; }
+
+  /// Splits `batch` across the partitioner's shards.  Throws
+  /// std::invalid_argument when a request names a vertex outside the
+  /// universe (no partial plan is returned).
+  [[nodiscard]] RoutePlan plan(std::span<const apps::Query> batch) const;
+
+  /// Scatters per-shard answer vectors back into one batch-order vector.
+  /// `shard_answers[s]` must parallel `plan.queries[s]`.
+  [[nodiscard]] static std::vector<std::uint32_t> merge(
+      const RoutePlan& plan,
+      const std::vector<std::vector<std::uint32_t>>& shard_answers,
+      std::size_t batch_size);
+
+ private:
+  const Partitioner& partitioner_;
+};
+
+}  // namespace nas::serve

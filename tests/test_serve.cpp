@@ -1,0 +1,419 @@
+// Tests for the sharded serving-cluster layer (src/serve): partitioner
+// coverage and determinism, router plan/merge round-trips, cluster answers
+// byte-identical across shard counts {1,2,8} x thread counts {1,2,8} x both
+// partitioners and equal to the single-oracle baseline, deterministic
+// cluster counters, snapshot warmup, and the runner's cluster axes.  Per the
+// repo's single-core bench policy these tests assert determinism, never
+// wall-clock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+#include "run/runner.hpp"
+#include "run/sinks.hpp"
+#include "serve/cluster.hpp"
+#include "serve/partition.hpp"
+#include "serve/router.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace nas;
+using apps::Query;
+using apps::SpannerDistanceOracle;
+using graph::Graph;
+using graph::Vertex;
+using serve::ClusterOptions;
+using serve::ClusterStats;
+using serve::Partitioner;
+using serve::PartitionKind;
+using serve::Router;
+using serve::ShardedCluster;
+
+core::SpannerResult build_result(const Graph& g) {
+  const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  return core::build_spanner(g, params, {.validate = false});
+}
+
+// --- partitioner -------------------------------------------------------------
+
+TEST(Partitioner, ParseAndName) {
+  EXPECT_EQ(serve::parse_partition("hash"), PartitionKind::kHash);
+  EXPECT_EQ(serve::parse_partition("range"), PartitionKind::kRange);
+  EXPECT_THROW((void)serve::parse_partition("modulo"), std::invalid_argument);
+  EXPECT_EQ(serve::partition_name(PartitionKind::kHash), "hash");
+  EXPECT_EQ(serve::partition_name(PartitionKind::kRange), "range");
+}
+
+TEST(Partitioner, RejectsDegenerateUniverses) {
+  EXPECT_THROW(Partitioner(PartitionKind::kHash, 0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(Partitioner(PartitionKind::kRange, 4, 0),
+               std::invalid_argument);
+  const Partitioner p(PartitionKind::kHash, 4, 100);
+  EXPECT_THROW((void)p.shard_of(100), std::invalid_argument);
+}
+
+TEST(Partitioner, EveryVertexOwnedByExactlyOneValidShard) {
+  const Vertex n = 1000;
+  for (const auto kind : {PartitionKind::kHash, PartitionKind::kRange}) {
+    for (const unsigned shards : {1u, 2u, 3u, 8u, 64u}) {
+      const Partitioner p(kind, shards, n);
+      std::vector<std::uint64_t> owned(shards, 0);
+      for (Vertex v = 0; v < n; ++v) {
+        const auto s = p.shard_of(v);
+        ASSERT_LT(s, shards);
+        ++owned[s];
+        // Determinism: a second partitioner with the same spec agrees.
+        EXPECT_EQ(Partitioner(kind, shards, n).shard_of(v), s);
+      }
+      EXPECT_EQ(std::accumulate(owned.begin(), owned.end(), std::uint64_t{0}),
+                n);
+    }
+  }
+}
+
+TEST(Partitioner, RangeMatchesThreadPoolShardBlocks) {
+  // The range partitioner must be the exact inverse of the canonical
+  // ThreadPool::shard block split.
+  const Vertex n = 997;  // prime: exercises uneven blocks
+  for (const unsigned shards : {1u, 2u, 5u, 8u}) {
+    const Partitioner p(PartitionKind::kRange, shards, n);
+    for (unsigned s = 0; s < shards; ++s) {
+      const auto [begin, end] = util::ThreadPool::shard(n, shards, s);
+      for (std::size_t v = begin; v < end; ++v) {
+        EXPECT_EQ(p.shard_of(static_cast<Vertex>(v)), s);
+      }
+    }
+  }
+}
+
+TEST(Partitioner, PairRoutingIsOrientationInvariant) {
+  const Partitioner p(PartitionKind::kHash, 8, 500);
+  for (Vertex u = 0; u < 50; ++u) {
+    for (Vertex v = 0; v < 50; ++v) {
+      EXPECT_EQ(p.shard_of_pair(u, v), p.shard_of_pair(v, u));
+      EXPECT_EQ(p.shard_of_pair(u, v), p.shard_of(std::min(u, v)));
+    }
+  }
+}
+
+// --- router ------------------------------------------------------------------
+
+TEST(Router, PlanCoversEveryRequestOnceInArrivalOrder) {
+  const Partitioner p(PartitionKind::kRange, 4, 100);
+  const Router router(p);
+  const auto batch =
+      apps::make_query_workload(100, {"uniform", 400, 42, 0.99});
+  const auto plan = router.plan(batch);
+
+  ASSERT_EQ(plan.queries.size(), 4u);
+  ASSERT_EQ(plan.slots.size(), 4u);
+  std::vector<int> seen(batch.size(), 0);
+  for (unsigned s = 0; s < 4; ++s) {
+    ASSERT_EQ(plan.queries[s].size(), plan.slots[s].size());
+    for (std::size_t i = 0; i < plan.slots[s].size(); ++i) {
+      const auto slot = plan.slots[s][i];
+      ++seen[slot];
+      // The sub-batch entry is the original request, routed correctly.
+      EXPECT_EQ(plan.queries[s][i].u, batch[slot].u);
+      EXPECT_EQ(plan.queries[s][i].v, batch[slot].v);
+      EXPECT_EQ(p.shard_of_pair(batch[slot].u, batch[slot].v), s);
+      // Arrival order within the shard.
+      if (i > 0) {
+        EXPECT_LT(plan.slots[s][i - 1], slot);
+      }
+    }
+  }
+  for (const auto count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Router, PlanRejectsOutOfRangeVertices) {
+  const Partitioner p(PartitionKind::kHash, 2, 10);
+  const Router router(p);
+  const std::vector<Query> bad{{3, 10}};
+  EXPECT_THROW((void)router.plan(bad), std::invalid_argument);
+}
+
+TEST(Router, MergeScattersBackToBatchOrder) {
+  const Partitioner p(PartitionKind::kRange, 2, 10);
+  const Router router(p);
+  // Vertices 0-4 -> shard 0, 5-9 -> shard 1 (routing key = min endpoint).
+  const std::vector<Query> batch{{7, 8}, {1, 2}, {9, 6}, {0, 3}};
+  const auto plan = router.plan(batch);
+  ASSERT_EQ(plan.queries[0].size(), 2u);
+  ASSERT_EQ(plan.queries[1].size(), 2u);
+  EXPECT_EQ(plan.shards_used(), 2u);
+
+  const std::vector<std::vector<std::uint32_t>> shard_answers{{11, 13},
+                                                              {17, 19}};
+  const auto merged = Router::merge(plan, shard_answers, batch.size());
+  EXPECT_EQ(merged, (std::vector<std::uint32_t>{17, 11, 19, 13}));
+
+  EXPECT_THROW((void)Router::merge(plan, {{1}, {2}}, batch.size()),
+               std::invalid_argument);
+}
+
+// --- cluster -----------------------------------------------------------------
+
+TEST(ShardedCluster, ByteIdenticalAcrossShardsThreadsAndPartitions) {
+  for (const char* family : {"er", "grid", "ba"}) {
+    const Graph g = graph::make_workload(family, 220, 3);
+    const auto result = build_result(g);
+    const double mult = result.params.stretch_multiplicative();
+    const double add = result.params.stretch_additive();
+    const auto batch =
+        apps::make_query_workload(g.num_vertices(), {"zipf", 500, 11, 0.99});
+
+    // Baseline: one plain oracle over the same spanner.
+    const SpannerDistanceOracle baseline(Graph(result.spanner), mult, add);
+    const auto expected = baseline.batch_query(batch, 1);
+
+    for (const char* partition : {"hash", "range"}) {
+      for (const unsigned shards : {1u, 2u, 8u}) {
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          ShardedCluster cluster(
+              result.spanner, mult, add,
+              {.shards = shards, .partition = partition});
+          ClusterStats stats;
+          const auto answers = cluster.serve(batch, threads, &stats);
+          ASSERT_EQ(answers, expected)
+              << family << " shards=" << shards << " threads=" << threads
+              << " partition=" << partition;
+          EXPECT_EQ(stats.requests, batch.size());
+          EXPECT_LE(stats.shards_used, shards);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedCluster, CountersAreDeterministicAndThreadIndependent) {
+  const Graph g = graph::make_workload("er", 200, 5);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 400, 7, 0.99});
+
+  const ClusterOptions options{.shards = 4,
+                               .partition = "hash",
+                               .shard_cache_budget_bytes =
+                                   8ull * g.num_vertices()};
+  ClusterStats reference;
+  {
+    ShardedCluster cluster(result.spanner, mult, add, options);
+    (void)cluster.serve(batch, 1, &reference);
+  }
+  ASSERT_EQ(reference.per_shard.size(), 4u);
+  // Sub-batch sizes sum to the batch; totals sum over shards.
+  std::uint64_t requests = 0, bfs = 0;
+  for (const auto& c : reference.per_shard) {
+    requests += c.requests;
+    bfs += c.bfs_passes;
+  }
+  EXPECT_EQ(requests, batch.size());
+  EXPECT_EQ(bfs, reference.bfs_passes);
+
+  for (const unsigned threads : {2u, 8u}) {
+    ShardedCluster cluster(result.spanner, mult, add, options);
+    ClusterStats stats;
+    (void)cluster.serve(batch, threads, &stats);
+    EXPECT_EQ(stats.shards_used, reference.shards_used);
+    EXPECT_EQ(stats.distinct_sources, reference.distinct_sources);
+    EXPECT_EQ(stats.cache_hits, reference.cache_hits);
+    EXPECT_EQ(stats.bfs_passes, reference.bfs_passes);
+    EXPECT_EQ(stats.evictions, reference.evictions);
+    for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
+      EXPECT_EQ(stats.per_shard[s].requests,
+                reference.per_shard[s].requests);
+      EXPECT_EQ(stats.per_shard[s].bfs_passes,
+                reference.per_shard[s].bfs_passes);
+      EXPECT_EQ(stats.per_shard[s].evictions,
+                reference.per_shard[s].evictions);
+    }
+  }
+}
+
+TEST(ShardedCluster, RepeatedBatchesHitShardCaches) {
+  const Graph g = graph::make_workload("er", 150, 2);
+  const auto result = build_result(g);
+  ShardedCluster cluster(result.spanner,
+                         result.params.stretch_multiplicative(),
+                         result.params.stretch_additive(),
+                         {.shards = 4, .partition = "hash"});
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 200, 3, 0.99});
+  ClusterStats first, second;
+  const auto a1 = cluster.serve(batch, 2, &first);
+  const auto a2 = cluster.serve(batch, 2, &second);
+  EXPECT_EQ(a1, a2);
+  EXPECT_GT(first.bfs_passes, 0u);
+  // The same batch replayed is fully cache-hot: every distinct source was
+  // inserted into its owning shard's cache by the first batch.
+  EXPECT_EQ(second.bfs_passes, 0u);
+  EXPECT_EQ(second.cache_hits, second.distinct_sources);
+}
+
+TEST(ShardedCluster, ZeroBudgetShardsStillAnswerIdentically) {
+  const Graph g = graph::make_workload("grid", 144, 1);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 300, 9, 0.99});
+
+  const SpannerDistanceOracle baseline(Graph(result.spanner), mult, add);
+  const auto expected = baseline.batch_query(batch, 1);
+
+  ShardedCluster cluster(result.spanner, mult, add,
+                         {.shards = 4,
+                          .partition = "range",
+                          .shard_cache_budget_bytes = 0});
+  ClusterStats stats;
+  EXPECT_EQ(cluster.serve(batch, 2, &stats), expected);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedCluster, RejectsBadOptions) {
+  const Graph g = graph::make_workload("er", 60, 1);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  EXPECT_THROW(ShardedCluster(result.spanner, mult, add, {.shards = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ShardedCluster(result.spanner, mult, add,
+                     {.shards = 2, .partition = "bogus"}),
+      std::invalid_argument);
+}
+
+// --- snapshot warmup ---------------------------------------------------------
+
+TEST(ShardedCluster, WarmsFromOneSnapshotReplicated) {
+  const Graph g = graph::make_workload("er", 180, 4);
+  const auto result = build_result(g);
+  const SpannerDistanceOracle built{core::SpannerResult(result)};
+  const std::string path = testing::TempDir() + "cluster_snapshot.naso";
+  built.save_file(path);
+
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 300, 13, 0.99});
+  const auto expected = built.batch_query(batch, 1);
+
+  auto cluster = ShardedCluster::from_snapshot_files(
+      {path}, {.shards = 4, .partition = "hash"});
+  EXPECT_EQ(cluster.num_shards(), 4u);
+  EXPECT_EQ(cluster.multiplicative(), built.multiplicative());
+  EXPECT_EQ(cluster.additive(), built.additive());
+  EXPECT_EQ(cluster.serve(batch, 2), expected);
+}
+
+TEST(ShardedCluster, WarmsFromPerShardSnapshots) {
+  const Graph g = graph::make_workload("grid", 100, 2);
+  const auto result = build_result(g);
+  const SpannerDistanceOracle built{core::SpannerResult(result)};
+  std::vector<std::string> paths;
+  for (int s = 0; s < 3; ++s) {
+    paths.push_back(testing::TempDir() + "shard" + std::to_string(s) +
+                    ".naso");
+    built.save_file(paths.back());
+  }
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 200, 1, 0.99});
+  auto cluster = ShardedCluster::from_snapshot_files(
+      paths, {.shards = 3, .partition = "range"});
+  EXPECT_EQ(cluster.serve(batch, 2), built.batch_query(batch, 1));
+}
+
+TEST(ShardedCluster, SnapshotWarmupErrorContract) {
+  EXPECT_THROW((void)ShardedCluster::from_snapshot_files({}, {.shards = 2}),
+               std::runtime_error);
+
+  const Graph g = graph::make_workload("er", 80, 1);
+  const auto result = build_result(g);
+  const SpannerDistanceOracle built{core::SpannerResult(result)};
+  const std::string path = testing::TempDir() + "mismatch_a.naso";
+  built.save_file(path);
+
+  // Wrong path count: 2 snapshots for 3 shards.
+  EXPECT_THROW((void)ShardedCluster::from_snapshot_files({path, path},
+                                                         {.shards = 3}),
+               std::runtime_error);
+
+  // Disagreeing universes across per-shard snapshots.
+  const Graph g2 = graph::make_workload("er", 90, 1);
+  const auto result2 = build_result(g2);
+  const SpannerDistanceOracle built2{core::SpannerResult(result2)};
+  const std::string path2 = testing::TempDir() + "mismatch_b.naso";
+  built2.save_file(path2);
+  EXPECT_THROW((void)ShardedCluster::from_snapshot_files({path, path2},
+                                                         {.shards = 2}),
+               std::runtime_error);
+
+  // Same universe and guarantee but different structure: the edge-count
+  // drift guard must reject it (answers would otherwise depend on routing).
+  const Graph h1 = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph h2 = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const std::string path3 = testing::TempDir() + "mismatch_c.naso";
+  const std::string path4 = testing::TempDir() + "mismatch_d.naso";
+  SpannerDistanceOracle(Graph(h1), 3.0, 2.0).save_file(path3);
+  SpannerDistanceOracle(Graph(h2), 3.0, 2.0).save_file(path4);
+  EXPECT_THROW((void)ShardedCluster::from_snapshot_files({path3, path4},
+                                                         {.shards = 2}),
+               std::runtime_error);
+}
+
+// --- runner integration ------------------------------------------------------
+
+TEST(RunnerCluster, ClusterAxisKeepsDigestAndFillsClusterColumns) {
+  run::ScenarioMatrix matrix;
+  matrix.set("family", "er");
+  matrix.set("n", "200");
+  matrix.set("eps", "0.5");
+  matrix.set("workload", "uniform");
+  matrix.set("queries", "150");
+  matrix.set("cluster-shards", "0, 1, 2, 8");
+  matrix.set("partition", "hash, range");
+  const auto specs = matrix.expand();
+  ASSERT_EQ(specs.size(), 8u);
+
+  run::Runner runner;
+  const auto rows = runner.run(specs);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.ok) << row.error;
+    ASSERT_TRUE(row.served);
+    EXPECT_EQ(row.oracle_digest, rows.front().oracle_digest)
+        << row.spec.id();
+    if (row.spec.cluster_shards == 0) {
+      EXPECT_EQ(row.cluster_shards_used, 0u);
+    } else {
+      EXPECT_GE(row.cluster_shards_used, 1u);
+      EXPECT_LE(row.cluster_shards_used, row.spec.cluster_shards);
+    }
+  }
+
+  // The cluster axes are visible in the id and the sink schema.
+  EXPECT_NE(rows.back().spec.id().find("/cs=8/range"), std::string::npos);
+  const auto fields = run::row_fields(rows.back());
+  bool saw_shards = false, saw_partition = false, saw_used = false;
+  for (const auto& [key, value] : fields) {
+    saw_shards |= key == "cluster_shards";
+    saw_partition |= key == "cluster_partition";
+    saw_used |= key == "cluster_shards_used";
+  }
+  EXPECT_TRUE(saw_shards);
+  EXPECT_TRUE(saw_partition);
+  EXPECT_TRUE(saw_used);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Unit tests for the synchronizer overhead analysis (src/apps/synchronizer):
+// the message accounting (2|H| safety messages per pulse vs the 2|E|
+// baseline) and the pulse-latency/edge-stretch accounting, checked against a
+// brute-force per-edge BFS recomputation on three graph families, with the
+// overlay produced by the serial-engine spanner construction.  Previously
+// the app only had end-to-end smoke coverage in test_apps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "apps/synchronizer.hpp"
+#include "core/elkin_matar.hpp"
+#include "core/params.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace nas;
+using graph::Graph;
+using graph::Vertex;
+
+/// Brute-force recomputation of the quantities analyze_synchronizer reports:
+/// max and mean over G-edges (u,v) of d_H(u,v), via one BFS over H per
+/// vertex with G-neighbors.
+struct BruteForce {
+  std::uint32_t latency = 0;
+  double mean = 1.0;
+  bool connects = true;
+};
+
+BruteForce brute_force(const Graph& g, const Graph& h) {
+  BruteForce out;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) == 0) continue;
+    const auto dist = graph::bfs(h, u);
+    for (const Vertex v : g.neighbors(u)) {
+      if (v < u) continue;
+      if (dist.dist[v] == graph::kInfDist) {
+        out.connects = false;
+        continue;
+      }
+      out.latency = std::max(out.latency, dist.dist[v]);
+      sum += dist.dist[v];
+      ++count;
+    }
+  }
+  if (count > 0) out.mean = sum / static_cast<double>(count);
+  return out;
+}
+
+TEST(SynchronizerAccounting, MatchesBruteForceOnSpannerOverlays) {
+  for (const char* family : {"er", "grid", "ba"}) {
+    const Graph g = graph::make_workload(family, 180, 3);
+    const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+    // The overlay comes out of the default (serial-engine) construction, so
+    // this also pins the accounting to the engine-built spanner.
+    const auto result = core::build_spanner(g, params, {.validate = false});
+    const auto rep = apps::analyze_synchronizer(g, result.spanner);
+
+    // Message accounting: one safety message per overlay edge direction.
+    EXPECT_EQ(rep.messages_per_pulse, 2 * result.spanner.num_edges())
+        << family;
+    EXPECT_EQ(rep.baseline_messages_per_pulse, 2 * g.num_edges()) << family;
+    EXPECT_DOUBLE_EQ(
+        rep.message_saving(),
+        static_cast<double>(result.spanner.num_edges()) /
+            static_cast<double>(g.num_edges()))
+        << family;
+
+    // Latency/stretch accounting against the brute-force recomputation.
+    const auto expected = brute_force(g, result.spanner);
+    EXPECT_EQ(rep.overlay_connects, expected.connects) << family;
+    EXPECT_EQ(rep.pulse_latency, expected.latency) << family;
+    EXPECT_DOUBLE_EQ(rep.mean_edge_stretch, expected.mean) << family;
+
+    // The spanner guarantee applied to distance-1 pairs bounds the latency:
+    // every G-edge (u,v) has d_H(u,v) <= M*1 + A.
+    EXPECT_TRUE(rep.overlay_connects) << family;
+    EXPECT_LE(static_cast<double>(rep.pulse_latency),
+              params.stretch_multiplicative() + params.stretch_additive())
+        << family;
+    EXPECT_GE(rep.mean_edge_stretch, 1.0) << family;
+    EXPECT_LE(rep.mean_edge_stretch, static_cast<double>(rep.pulse_latency))
+        << family;
+  }
+}
+
+TEST(SynchronizerAccounting, IdentityOverlayIsTheFixedPoint) {
+  for (const char* family : {"er", "grid", "ba"}) {
+    const Graph g = graph::make_workload(family, 120, 5);
+    ASSERT_GT(g.num_edges(), 0u);
+    const auto rep = apps::analyze_synchronizer(g, g);
+    EXPECT_EQ(rep.messages_per_pulse, rep.baseline_messages_per_pulse);
+    EXPECT_DOUBLE_EQ(rep.message_saving(), 1.0);
+    EXPECT_EQ(rep.pulse_latency, 1u) << family;
+    EXPECT_DOUBLE_EQ(rep.mean_edge_stretch, 1.0) << family;
+    EXPECT_TRUE(rep.overlay_connects);
+  }
+}
+
+TEST(SynchronizerAccounting, HandcraftedOverlayLatency) {
+  // G = triangle 0-1-2, H = path 0-1-2: the dropped edge (0,2) must be
+  // simulated through the 2-hop path, the kept edges stay at 1.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const Graph h = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto rep = apps::analyze_synchronizer(g, h);
+  EXPECT_EQ(rep.messages_per_pulse, 4u);
+  EXPECT_EQ(rep.baseline_messages_per_pulse, 6u);
+  EXPECT_EQ(rep.pulse_latency, 2u);
+  EXPECT_DOUBLE_EQ(rep.mean_edge_stretch, (1.0 + 1.0 + 2.0) / 3.0);
+  EXPECT_TRUE(rep.overlay_connects);
+}
+
+TEST(SynchronizerAccounting, EmptyOverlayDisconnectsEveryEdge) {
+  const Graph g = graph::make_workload("grid", 64, 1);
+  const Graph empty = Graph::from_edges(g.num_vertices(), {});
+  const auto rep = apps::analyze_synchronizer(g, empty);
+  EXPECT_EQ(rep.messages_per_pulse, 0u);
+  EXPECT_FALSE(rep.overlay_connects);
+  EXPECT_EQ(rep.pulse_latency, 0u);
+  EXPECT_DOUBLE_EQ(rep.mean_edge_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(rep.message_saving(), 0.0);
+}
+
+}  // namespace

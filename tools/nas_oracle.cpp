@@ -21,7 +21,6 @@
 // cmp gate over this binary.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,49 +35,6 @@
 #include "util/timer.hpp"
 
 using namespace nas;
-
-namespace {
-
-/// Reads "u v" request lines ('#' comments, blank lines allowed), with the
-/// read_edge_list line-numbered error contract.
-std::vector<apps::Query> read_query_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open query file " + path);
-  std::vector<apps::Query> queries;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    if (line.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
-    std::istringstream ls(line);
-    apps::Query q;
-    std::string trailing;
-    if (!(ls >> q.u >> q.v) || (ls >> trailing)) {
-      throw std::runtime_error(path + ": malformed query line (expected 'u v')"
-                               " at line " + std::to_string(line_no));
-    }
-    queries.push_back(q);
-  }
-  return queries;
-}
-
-void write_answers(const std::vector<apps::Query>& queries,
-                   const std::vector<std::uint32_t>& answers,
-                   std::ostream& out) {
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    out << queries[i].u << ' ' << queries[i].v << ' ';
-    if (answers[i] == graph::kInfDist) {
-      out << "inf";
-    } else {
-      out << answers[i];
-    }
-    out << '\n';
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -171,7 +127,7 @@ int main(int argc, char** argv) {
 
     std::vector<apps::Query> queries;
     if (!query_file.empty()) {
-      queries = read_query_file(query_file);
+      queries = apps::read_query_file(query_file);
     } else if (!workload.empty()) {
       queries = apps::make_query_workload(
           oracle.spanner().num_vertices(),
@@ -205,11 +161,11 @@ int main(int argc, char** argv) {
       if (!out) {
         throw std::runtime_error("cannot open answers file " + answers_path);
       }
-      write_answers(queries, answers, out);
+      apps::write_answers(queries, answers, out);
       std::cerr << "wrote " << queries.size() << " answers to " << answers_path
                 << "\n";
     } else if (!queries.empty()) {
-      write_answers(queries, answers, std::cout);
+      apps::write_answers(queries, answers, std::cout);
     }
 
     if (!stats_path.empty()) {
