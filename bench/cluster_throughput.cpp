@@ -16,6 +16,7 @@
 //       [--shards 0,1,2,8]        # 0 = single-oracle baseline row
 //       [--partition hash,range]
 //       [--threads 1,2]           # pool slots serving the shards
+//       [--snapshot-format none,v1,v2]  # warm direct / from saved snapshot
 //       [--json BENCH_cluster.json] [--csv out.csv]
 //
 // Thin wrapper over the scenario runner (specs differ only in the cluster
@@ -57,6 +58,10 @@ int main(int argc, char** argv) {
       flags.str("partition", "hash", "comma-separated partitioners: hash|range");
   const std::string thread_spec =
       flags.str("threads", "1,2", "comma-separated pool slots per batch");
+  const std::string format_spec = flags.str(
+      "snapshot-format", "none",
+      "comma-separated warmup paths: none (direct) | v1 | v2 (cluster warmed "
+      "from a saved snapshot; warmup time is the shared reload cost)");
   const std::string json_path =
       flags.str("json", "BENCH_cluster.json", "perf JSON output path");
   const std::string csv_path = flags.str("csv", "", "CSV output path");
@@ -78,8 +83,11 @@ int main(int argc, char** argv) {
     thread_list.push_back(
         static_cast<unsigned>(util::Flags::parse_integer("threads", item)));
   }
-  if (shard_list.empty() || partition_list.empty() || thread_list.empty()) {
-    std::cerr << "error: empty --shards, --partition, or --threads list\n";
+  const auto format_list = run::split_list(format_spec);
+  if (shard_list.empty() || partition_list.empty() || thread_list.empty() ||
+      format_list.empty()) {
+    std::cerr << "error: empty --shards, --partition, --threads, or "
+                 "--snapshot-format list\n";
     return 2;
   }
 
@@ -95,15 +103,18 @@ int main(int argc, char** argv) {
   // partition axis is meaningless there, so it is pinned to the first value
   // instead of duplicating the row per partitioner).
   std::vector<run::ScenarioSpec> specs;
-  for (const unsigned shards : shard_list) {
-    for (const auto& partition : partition_list) {
-      if (shards == 0 && partition != partition_list.front()) continue;
-      for (const unsigned threads : thread_list) {
-        auto spec = base;
-        spec.cluster_shards = shards;
-        spec.partition = partition;
-        spec.query_threads = threads;
-        specs.push_back(spec);
+  for (const auto& format : format_list) {
+    for (const unsigned shards : shard_list) {
+      for (const auto& partition : partition_list) {
+        if (shards == 0 && partition != partition_list.front()) continue;
+        for (const unsigned threads : thread_list) {
+          auto spec = base;
+          spec.snapshot_format = format;
+          spec.cluster_shards = shards;
+          spec.partition = partition;
+          spec.query_threads = threads;
+          specs.push_back(spec);
+        }
       }
     }
   }
@@ -111,8 +122,9 @@ int main(int argc, char** argv) {
   // Sequential execution: per-row serving wall-clock must not share cores.
   const auto rows = runner.run(specs);
 
-  util::Table t({"shards", "partition", "slots", "used", "serve ms",
-                 "kqueries/s", "BFS", "hits", "evict", "digest ok"});
+  util::Table t({"format", "shards", "partition", "slots", "used",
+                 "warmup ms", "serve ms", "kqueries/s", "BFS", "hits", "evict",
+                 "digest ok"});
   bool all_ok = true, all_identical = true;
   std::vector<double> kqps;
   std::vector<bool> identicals;
@@ -131,10 +143,12 @@ int main(int argc, char** argv) {
     identicals.push_back(identical);
     all_identical = all_identical && identical;
     all_ok = all_ok && row.passed();
-    t.add_row({std::to_string(row.spec.cluster_shards),
+    t.add_row({row.spec.snapshot_format,
+               std::to_string(row.spec.cluster_shards),
                row.spec.cluster_shards == 0 ? "-" : row.spec.partition,
                std::to_string(row.spec.query_threads),
                std::to_string(row.cluster_shards_used),
+               util::Table::num(row.snapshot_warmup_ms, 2),
                util::Table::num(row.oracle_wall_ms, 1), util::Table::num(rate),
                std::to_string(row.oracle_bfs_passes),
                std::to_string(row.oracle_cache_hits),

@@ -15,6 +15,7 @@
 //       [--zipf-theta 0.99]
 //       [--threads 1,2,4,8]       # query shards; first is the baseline
 //       [--budgets 0,4194304,67108864]  # cache budgets in bytes
+//       [--snapshot-format none,v1,v2]  # serve direct / via saved snapshot
 //       [--json BENCH_oracle.json]      # unified rows + timing + extras
 //       [--csv out.csv]
 //
@@ -55,6 +56,10 @@ int main(int argc, char** argv) {
       "threads", "1,2,4,8", "comma-separated query shards; first = baseline");
   const std::string budget_spec =
       flags.str("budgets", "67108864", "comma-separated cache budgets (bytes)");
+  const std::string format_spec = flags.str(
+      "snapshot-format", "none",
+      "comma-separated serving paths: none (direct) | v1 | v2 (snapshot "
+      "round-trip; warmup time is the reload cost)");
   const std::string json_path =
       flags.str("json", "BENCH_oracle.json", "perf JSON output path");
   const std::string csv_path = flags.str("csv", "", "CSV output path");
@@ -75,8 +80,10 @@ int main(int argc, char** argv) {
     budget_list.push_back(static_cast<std::uint64_t>(
         util::Flags::parse_integer("budgets", item)));
   }
-  if (thread_list.empty() || budget_list.empty()) {
-    std::cerr << "error: empty --threads or --budgets list\n";
+  const auto format_list = run::split_list(format_spec);
+  if (thread_list.empty() || budget_list.empty() || format_list.empty()) {
+    std::cerr << "error: empty --threads, --budgets, or --snapshot-format "
+                 "list\n";
     return 2;
   }
 
@@ -87,24 +94,29 @@ int main(int argc, char** argv) {
             << base.algo << " workload=" << base.workload << " ("
             << base.queries << " queries/batch)\n\n";
 
-  // Budget-major sweep.  The spec carries the *requested* thread count; the
-  // batch resolves it against the deduplicated uncached-source count, and
-  // the table reports that actual shard count (row.oracle_shards).
+  // Format-major, then budget-major sweep.  The spec carries the *requested*
+  // thread count; the batch resolves it against the deduplicated
+  // uncached-source count, and the table reports that actual shard count
+  // (row.oracle_shards).
   std::vector<run::ScenarioSpec> specs;
-  for (const auto budget : budget_list) {
-    for (const unsigned threads : thread_list) {
-      auto spec = base;
-      spec.cache_budget = budget;
-      spec.query_threads = threads;
-      specs.push_back(spec);
+  for (const auto& format : format_list) {
+    for (const auto budget : budget_list) {
+      for (const unsigned threads : thread_list) {
+        auto spec = base;
+        spec.snapshot_format = format;
+        spec.cache_budget = budget;
+        spec.query_threads = threads;
+        specs.push_back(spec);
+      }
     }
   }
 
   // Sequential execution: per-row serving wall-clock must not share cores.
   const auto rows = runner.run(specs);
 
-  util::Table t({"budget B", "req", "shards", "serve ms", "kqueries/s", "BFS",
-                 "hits", "evict", "digest ok"});
+  util::Table t({"format", "budget B", "req", "shards", "warmup ms",
+                 "serve ms", "kqueries/s", "BFS", "hits", "evict",
+                 "digest ok"});
   bool all_ok = true, all_identical = true;
   std::vector<double> kqps;
   std::vector<bool> identicals;
@@ -123,9 +135,11 @@ int main(int argc, char** argv) {
     identicals.push_back(identical);
     all_identical = all_identical && identical;
     all_ok = all_ok && row.passed();
-    t.add_row({std::to_string(row.spec.cache_budget),
+    t.add_row({row.spec.snapshot_format,
+               std::to_string(row.spec.cache_budget),
                std::to_string(row.spec.query_threads),
                std::to_string(row.oracle_shards),
+               util::Table::num(row.snapshot_warmup_ms, 2),
                util::Table::num(row.oracle_wall_ms, 1),
                util::Table::num(rate),
                std::to_string(row.oracle_bfs_passes),

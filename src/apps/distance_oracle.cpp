@@ -1,7 +1,6 @@
 #include "apps/distance_oracle.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -44,27 +43,42 @@ SpannerDistanceOracle::SpannerDistanceOracle(const graph::Graph& g,
 
 SpannerDistanceOracle::SpannerDistanceOracle(core::SpannerResult result,
                                              OracleOptions options)
-    : spanner_(std::move(result.spanner)),
+    : csr_(graph::Csr::from_graph(result.spanner)),
       params_(std::move(result.params)),
       mult_(params_->stretch_multiplicative()),
       add_(params_->stretch_additive()),
       capacity_(resolve_capacity(options.cache_budget_bytes,
-                                 spanner_.num_vertices())) {}
+                                 csr_.num_vertices())) {}
 
 SpannerDistanceOracle::SpannerDistanceOracle(graph::Graph spanner,
                                              double multiplicative,
                                              double additive,
                                              OracleOptions options,
                                              std::optional<core::Params> params)
-    : spanner_(std::move(spanner)),
+    : SpannerDistanceOracle(graph::Csr::from_graph(spanner), multiplicative,
+                            additive, options, std::move(params)) {}
+
+SpannerDistanceOracle::SpannerDistanceOracle(graph::Csr spanner,
+                                             double multiplicative,
+                                             double additive,
+                                             OracleOptions options,
+                                             std::optional<core::Params> params)
+    : csr_(std::move(spanner)),
       params_(std::move(params)),
       mult_(multiplicative),
       add_(additive),
       capacity_(resolve_capacity(options.cache_budget_bytes,
-                                 spanner_.num_vertices())) {}
+                                 csr_.num_vertices())) {}
+
+const graph::Graph& SpannerDistanceOracle::spanner() const {
+  if (!materialized_) {
+    materialized_ = std::make_shared<const graph::Graph>(csr_.to_graph());
+  }
+  return *materialized_;
+}
 
 void SpannerDistanceOracle::check_vertex(Vertex v) const {
-  if (v >= spanner_.num_vertices()) {
+  if (v >= csr_.num_vertices()) {
     throw std::invalid_argument("SpannerDistanceOracle: vertex out of range");
   }
 }
@@ -110,7 +124,7 @@ std::uint32_t SpannerDistanceOracle::query(Vertex u, Vertex v) const {
     return it->second.dist[t];
   }
   std::vector<std::uint32_t> dist;
-  graph::bfs_into(spanner_, s, dist, frontier_);
+  graph::bfs_into(csr_, s, dist, frontier_);
   ++bfs_passes_;
   const auto answer = dist[t];
   cache_insert(s, std::move(dist));
@@ -151,13 +165,14 @@ std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
 
   // BFS the uncached sources, sharded across the pool.  Every worker writes
   // only its own sources' slots and its own frontier scratch, so the filled
-  // distance vectors are identical at any thread count.
+  // distance vectors are identical at any thread count.  The workers stream
+  // the shared CSR arrays read-only.
   std::vector<std::vector<std::uint32_t>> fresh(missing.size());
   util::ThreadPool::run_sharded(
       missing.size(), threads, [&](std::size_t begin, std::size_t end) {
         std::vector<Vertex> frontier;
         for (std::size_t i = begin; i < end; ++i) {
-          graph::bfs_into(spanner_, missing[i], fresh[i], frontier);
+          graph::bfs_into(csr_, missing[i], fresh[i], frontier);
         }
       });
   bfs_passes_ += missing.size();
@@ -211,10 +226,15 @@ void SpannerDistanceOracle::save(std::ostream& out) const {
   }
   out << "guarantee " << render_double(mult_) << ' ' << render_double(add_)
       << '\n';
-  graph::write_edge_list(spanner_, out);
+  graph::write_edge_list(csr_, out);
 }
 
-void SpannerDistanceOracle::save_file(const std::string& path) const {
+void SpannerDistanceOracle::save_file(const std::string& path,
+                                      SnapshotFormat format) const {
+  if (format == SnapshotFormat::kV2) {
+    save_snapshot_v2({csr_, mult_, add_, params_}, path);
+    return;
+  }
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("oracle snapshot: cannot open " + path +
@@ -287,39 +307,9 @@ SpannerDistanceOracle SpannerDistanceOracle::load(std::istream& in,
 
   std::optional<core::Params> params;
   if (have_params) {
-    // Syntactically valid but semantically out-of-range arguments (kappa <
-    // 2, rho outside [1/kappa, 1/2), ...) throw from the Params factories;
-    // keep the snapshot error contract by naming the line they came from.
-    try {
-      params = mode == "paper"
-                   ? core::Params::paper(spanner.num_vertices(), eps, kappa,
-                                         rho, n_estimate)
-                   : core::Params::practical(spanner.num_vertices(), eps,
-                                             kappa, rho, n_estimate);
-    } catch (const std::exception& e) {
-      throw std::runtime_error(
-          std::string("oracle snapshot: invalid params at line 2: ") +
-          e.what());
-    }
-    // Drift guard: the schedule recomputed from the stored arguments must
-    // reproduce the recorded guarantee.  The comparison is relative, not
-    // bit-exact: Params goes through std::pow, and libm results may differ
-    // by an ulp between the saving and the loading machine — the recorded
-    // pair stays authoritative for serving either way.  Real schedule drift
-    // moves these values by far more than the tolerance.
-    const auto differs = [](double recomputed, double recorded) {
-      return std::abs(recomputed - recorded) >
-             1e-9 * std::max(1.0, std::abs(recorded));
-    };
-    if (differs(params->stretch_multiplicative(), mult) ||
-        differs(params->stretch_additive(), add)) {
-      throw std::runtime_error(
-          "oracle snapshot: recomputed guarantee (" +
-          render_double(params->stretch_multiplicative()) + ", " +
-          render_double(params->stretch_additive()) +
-          ") disagrees with the recorded pair (" + render_double(mult) + ", " +
-          render_double(add) + ")");
-    }
+    params = rebuild_snapshot_params(mode, eps, kappa, rho, n_estimate,
+                                     spanner.num_vertices(), mult, add,
+                                     "line 2");
   }
   return SpannerDistanceOracle(std::move(spanner), mult, add, options,
                                std::move(params));
@@ -327,6 +317,12 @@ SpannerDistanceOracle SpannerDistanceOracle::load(std::istream& in,
 
 SpannerDistanceOracle SpannerDistanceOracle::load_file(const std::string& path,
                                                        OracleOptions options) {
+  if (detect_snapshot_format(path) == SnapshotFormat::kV2) {
+    auto contents = load_snapshot_v2(path);
+    return SpannerDistanceOracle(std::move(contents.csr),
+                                 contents.multiplicative, contents.additive,
+                                 options, std::move(contents.params));
+  }
   std::ifstream in(path);
   if (!in) throw std::runtime_error("oracle snapshot: cannot open " + path);
   return load(in, options);

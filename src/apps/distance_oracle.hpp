@@ -12,6 +12,10 @@
 // O(β·n^{1+1/κ})) instead of O(|E|).
 //
 // Serving model:
+//   * The oracle holds the spanner as a graph::Csr — two flat arrays the
+//     BFS hot loop streams through.  Csr copies share storage, so cloning
+//     an oracle across serving shards costs O(1) memory, and a v2 binary
+//     snapshot serves straight out of a file mapping.
 //   * `batch_query` answers a whole request vector at once: the distinct
 //     BFS sources behind the batch are deduplicated and sharded across a
 //     util::ThreadPool, each worker filling allocation-free graph::bfs_into
@@ -25,24 +29,30 @@
 //     function of the query history, never of thread scheduling.
 //   * `save`/`load` snapshot the oracle (spanner + Params + guarantee) so
 //     serving processes can load a prebuilt structure instead of re-running
-//     the CONGEST construction (tools/nas_oracle drives this).
+//     the CONGEST construction (tools/nas_oracle drives this).  Two formats
+//     exist — v1 text and v2 binary (apps/snapshot.hpp); answers are
+//     byte-identical regardless of which one an oracle was loaded from.
 //
-// Thread-safety: const methods mutate the cache under the hood (same
-// contract as the previous unbounded implementation); callers must not
-// invoke methods on one oracle concurrently.  The concurrency happens
-// *inside* batch_query, on disjoint scratch buffers.
+// Thread-safety: const methods mutate the cache (and the lazily
+// materialized adjacency-list spanner) under the hood — same contract as
+// the previous implementation; callers must not invoke methods on one
+// oracle concurrently.  The concurrency happens *inside* batch_query, on
+// disjoint scratch buffers.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "apps/snapshot.hpp"
 #include "core/elkin_matar.hpp"
 #include "core/params.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace nas::apps {
@@ -86,10 +96,16 @@ class SpannerDistanceOracle {
                                  OracleOptions options = {});
 
   /// Wraps an arbitrary spanner with an externally proven guarantee
-  /// d_H ≤ multiplicative·d_G + additive (the baseline constructions and
-  /// snapshot loading come through here; no Params is attached unless
-  /// `params` is provided).
+  /// d_H ≤ multiplicative·d_G + additive (the baseline constructions come
+  /// through here; no Params is attached unless `params` is provided).
   SpannerDistanceOracle(graph::Graph spanner, double multiplicative,
+                        double additive, OracleOptions options = {},
+                        std::optional<core::Params> params = std::nullopt);
+
+  /// Same, from a CSR view directly.  The Csr's storage is shared, not
+  /// copied — a serving cluster hands every shard the same arrays, and the
+  /// v2 snapshot loader hands over its file mapping.
+  SpannerDistanceOracle(graph::Csr spanner, double multiplicative,
                         double additive, OracleOptions options = {},
                         std::optional<core::Params> params = std::nullopt);
 
@@ -106,23 +122,29 @@ class SpannerDistanceOracle {
 
   // --- snapshot -------------------------------------------------------------
 
-  /// Writes the serving snapshot: a "NAS-ORACLE v1" header, the Params
+  /// Writes the v1 text snapshot: a "NAS-ORACLE v1" header, the Params
   /// needed to rebuild the schedule (or "none"), the guarantee pair, then
   /// the spanner as a graph::io edge list.  Doubles are rendered with %.17g
   /// so the loaded guarantee is bit-identical.
   void save(std::ostream& out) const;
-  void save_file(const std::string& path) const;
+  /// Writes the snapshot to `path` in the requested format (v1 text by
+  /// default; SnapshotFormat::kV2 writes the mmap-able binary image).
+  void save_file(const std::string& path,
+                 SnapshotFormat format = SnapshotFormat::kV1) const;
 
-  /// Reads a snapshot.  Malformed input raises std::runtime_error naming
-  /// the offending line, mirroring the graph::read_edge_list contract:
-  /// bad magic (line 1), malformed params/guarantee lines (lines 2-3),
-  /// truncated files, and edge-count mismatches in the edge-list body.
-  /// A snapshot with Params whose recomputed guarantee disagrees with the
-  /// recorded pair beyond a small relative tolerance is rejected
+  /// Reads a v1 text snapshot.  Malformed input raises std::runtime_error
+  /// naming the offending line, mirroring the graph::read_edge_list
+  /// contract: bad magic (line 1), malformed params/guarantee lines (lines
+  /// 2-3), truncated files, and edge-count mismatches in the edge-list
+  /// body.  A snapshot with Params whose recomputed guarantee disagrees
+  /// with the recorded pair beyond a small relative tolerance is rejected
   /// (schedule/schema drift guard; the tolerance absorbs cross-libm ulp
   /// differences, and the recorded pair is what serving uses either way).
   [[nodiscard]] static SpannerDistanceOracle load(std::istream& in,
                                                   OracleOptions options = {});
+  /// Reads a snapshot from `path`, auto-detecting the format from its
+  /// leading bytes: v2 binary images are mapped zero-copy (errors carry
+  /// byte offsets), anything else goes through the v1 text reader.
   [[nodiscard]] static SpannerDistanceOracle load_file(
       const std::string& path, OracleOptions options = {});
 
@@ -132,10 +154,18 @@ class SpannerDistanceOracle {
   [[nodiscard]] double multiplicative() const { return mult_; }
   [[nodiscard]] double additive() const { return add_; }
 
-  [[nodiscard]] const graph::Graph& spanner() const { return spanner_; }
-  [[nodiscard]] std::size_t spanner_edges() const {
-    return spanner_.num_edges();
+  /// The serving structure itself: the CSR the BFS hot loop runs on.
+  [[nodiscard]] const graph::Csr& csr() const { return csr_; }
+  /// Adjacency-list view of the spanner, materialized lazily on first use
+  /// (identical neighbor order).  Cold-path/introspection helper — serving
+  /// never touches it.
+  [[nodiscard]] const graph::Graph& spanner() const;
+  [[nodiscard]] graph::Vertex num_vertices() const {
+    return csr_.num_vertices();
   }
+  [[nodiscard]] std::size_t spanner_edges() const { return csr_.num_edges(); }
+  /// One-line banner, e.g. "Graph(n=100, m=250)".
+  [[nodiscard]] std::string summary() const { return csr_.summary(); }
   /// The schedule the spanner was built with, when known.
   [[nodiscard]] const std::optional<core::Params>& params() const {
     return params_;
@@ -160,7 +190,7 @@ class SpannerDistanceOracle {
   void cache_insert(graph::Vertex s, std::vector<std::uint32_t>&& dist) const;
   void check_vertex(graph::Vertex v) const;
 
-  graph::Graph spanner_;
+  graph::Csr csr_;  ///< the spanner, in serving form (sole retained copy)
   std::optional<core::Params> params_;
   double mult_ = 1.0;
   double add_ = 0.0;
@@ -171,6 +201,8 @@ class SpannerDistanceOracle {
   mutable std::uint64_t bfs_passes_ = 0;
   mutable std::uint64_t evictions_ = 0;
   mutable std::vector<graph::Vertex> frontier_;  ///< serial-path BFS scratch
+  /// spanner() materialization (adjacency-list mirror of csr_).
+  mutable std::shared_ptr<const graph::Graph> materialized_;
 };
 
 /// Order-sensitive 64-bit digest of an answer vector (SplitMix-style mixing;

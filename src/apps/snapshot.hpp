@@ -1,0 +1,104 @@
+// NAS-ORACLE snapshot formats.
+//
+// Two on-disk encodings of the same serving state (spanner + Params +
+// guarantee pair):
+//
+//   * v1 — the original line-oriented text format ("NAS-ORACLE v1" magic,
+//     params line, guarantee line, graph::io edge-list body).  Human-
+//     readable, diff-able, and the golden baseline every other encoding is
+//     checked against.  The reader/writer live in SpannerDistanceOracle.
+//   * v2 — a little-endian binary image holding the CSR arrays verbatim so
+//     a serving process can mmap the file and point graph::Csr spans
+//     straight into the page cache (zero parse, zero copy).  Layout:
+//
+//         offset  size  field
+//              0     8  magic "NASORC2\0"
+//              8     4  u32 version            (2)
+//             12     4  u32 header_bytes       (96)
+//             16     8  u64 n                  (vertices)
+//             24     8  u64 m                  (undirected edges)
+//             32     4  u32 params_mode        (0 none, 1 practical, 2 paper)
+//             36     4  i32 kappa              | Params constructor args;
+//             40     8  f64 eps                 | zero when params_mode
+//             48     8  f64 rho                 | is 0
+//             56     8  u64 n_estimate         |
+//             64     8  f64 guarantee_mult
+//             72     8  f64 guarantee_add
+//             80     8  u64 checksum           (see snapshot_v2_checksum)
+//             88     8  u64 reserved           (0)
+//             96  8(n+1)  u64 offsets[n+1]     (CSR offset array)
+//      96+8(n+1)    8m  u32 entries[2m]        (CSR adjacency entries)
+//
+//     The file size must equal 96 + 8(n+1) + 8m exactly.  All integers and
+//     doubles are little-endian; offsets begin 8-byte-aligned and entries
+//     4-byte-aligned on any page-aligned mapping.  Loading validates the
+//     header, the checksum, and the full CSR invariants (offsets
+//     nondecreasing from 0 to 2m, neighbors in range, strictly ascending,
+//     no self-loops), and reports failures with the absolute byte offset —
+//     the binary mirror of v1's line-numbered errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/params.hpp"
+#include "graph/csr.hpp"
+
+namespace nas::apps {
+
+enum class SnapshotFormat {
+  kV1,  ///< "NAS-ORACLE v1" text (edge-list body)
+  kV2,  ///< "NASORC2\0" binary (mmap-able CSR image)
+};
+
+/// Parses "v1" / "v2"; throws std::invalid_argument otherwise.
+[[nodiscard]] SnapshotFormat parse_snapshot_format(const std::string& name);
+[[nodiscard]] const char* snapshot_format_name(SnapshotFormat format);
+
+/// Sniffs the on-disk format from the leading bytes: the v2 binary magic
+/// selects kV2, anything else (including short files) falls through to kV1,
+/// whose reader owns the detailed text-format diagnostics.  Throws
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] SnapshotFormat detect_snapshot_format(const std::string& path);
+
+/// Everything a v2 snapshot stores.  On load the Csr views the file mapping
+/// directly (the mapping stays alive through the Csr's keep-alive handle).
+struct SnapshotContents {
+  graph::Csr csr;
+  double multiplicative = 1.0;
+  double additive = 0.0;
+  std::optional<core::Params> params;
+};
+
+/// Writes the v2 binary image.  Throws std::runtime_error on I/O failure.
+void save_snapshot_v2(const SnapshotContents& contents,
+                      const std::string& path);
+
+/// Maps `path` and validates header, checksum, and CSR invariants.
+/// Malformed input raises std::runtime_error prefixed "oracle snapshot
+/// (v2):" and naming the offending byte offset.
+[[nodiscard]] SnapshotContents load_snapshot_v2(const std::string& path);
+
+/// The v2 integrity checksum: a util::mix64 chain over the whole file image
+/// in 8-byte little-endian words (trailing bytes zero-padded) with the
+/// checksum field itself treated as zero.  Exposed so tests can craft
+/// adversarial snapshots whose *only* defect is the one under test.
+[[nodiscard]] std::uint64_t snapshot_v2_checksum(
+    std::span<const std::byte> image);
+
+/// Shared by the v1 and v2 loaders: rebuilds core::Params from the stored
+/// constructor arguments and applies the guarantee drift guard — the
+/// schedule recomputed from the arguments must reproduce the recorded
+/// (mult, add) pair within a small relative tolerance (absorbing cross-libm
+/// ulp differences; real schedule drift moves the values far more).
+/// `mode` is "none" (returns nullopt), "practical", or "paper"; `where`
+/// names the source location for error messages (e.g. "line 2").
+[[nodiscard]] std::optional<core::Params> rebuild_snapshot_params(
+    const std::string& mode, double eps, int kappa, double rho,
+    std::uint64_t n_estimate, graph::Vertex n, double mult, double add,
+    const std::string& where);
+
+}  // namespace nas::apps

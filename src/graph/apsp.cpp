@@ -18,12 +18,15 @@ Apsp::Apsp(const Graph& g, Vertex max_n, unsigned threads)
   dist_.resize(static_cast<std::size_t>(n_) * n_);
   // Each source owns one disjoint row of the table, so sharding sources
   // across workers is race-free; bfs_into writes rows in place with
-  // per-shard scratch, so the whole build allocates O(threads · n).
+  // per-shard scratch, so the whole build allocates O(threads · n).  The
+  // adjacency is flattened to CSR once so all n BFS passes stream two flat
+  // arrays (identical traversal order, identical rows).
+  const Csr csr = Csr::from_graph(g);
   util::ThreadPool::run_sharded(
       n_, threads, [&](std::size_t begin, std::size_t end) {
         std::vector<Vertex> frontier;
         for (std::size_t s = begin; s < end; ++s) {
-          bfs_into(g, static_cast<Vertex>(s),
+          bfs_into(csr, static_cast<Vertex>(s),
                    std::span<std::uint32_t>(dist_.data() + s * n_, n_),
                    frontier);
         }

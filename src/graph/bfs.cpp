@@ -53,8 +53,15 @@ BfsResult bfs(const Graph& g, Vertex source) {
   return bfs_impl(g, {source}, kInfDist);
 }
 
-void bfs_into(const Graph& g, Vertex source, std::span<std::uint32_t> dist,
-              std::vector<Vertex>& frontier) {
+namespace {
+
+// One traversal shared by the adjacency-list and CSR entry points: both
+// expose num_vertices()/neighbors(v) with neighbors ascending, so the
+// visit order — and therefore every distance — is representation-free.
+template <typename AnyGraph>
+void bfs_into_impl(const AnyGraph& g, Vertex source,
+                   std::span<std::uint32_t> dist,
+                   std::vector<Vertex>& frontier) {
   const Vertex n = g.num_vertices();
   if (dist.size() != n) {
     throw std::invalid_argument("bfs_into: dist size must equal num_vertices");
@@ -77,11 +84,30 @@ void bfs_into(const Graph& g, Vertex source, std::span<std::uint32_t> dist,
   }
 }
 
+}  // namespace
+
+void bfs_into(const Graph& g, Vertex source, std::span<std::uint32_t> dist,
+              std::vector<Vertex>& frontier) {
+  bfs_into_impl(g, source, dist, frontier);
+}
+
 void bfs_into(const Graph& g, Vertex source, std::vector<std::uint32_t>& dist,
               std::vector<Vertex>& frontier) {
   dist.resize(g.num_vertices());
-  bfs_into(g, source,
-           std::span<std::uint32_t>(dist.data(), dist.size()), frontier);
+  bfs_into_impl(g, source,
+                std::span<std::uint32_t>(dist.data(), dist.size()), frontier);
+}
+
+void bfs_into(const Csr& g, Vertex source, std::span<std::uint32_t> dist,
+              std::vector<Vertex>& frontier) {
+  bfs_into_impl(g, source, dist, frontier);
+}
+
+void bfs_into(const Csr& g, Vertex source, std::vector<std::uint32_t>& dist,
+              std::vector<Vertex>& frontier) {
+  dist.resize(g.num_vertices());
+  bfs_into_impl(g, source,
+                std::span<std::uint32_t>(dist.data(), dist.size()), frontier);
 }
 
 BfsResult multi_source_bfs(const Graph& g, const std::vector<Vertex>& sources) {

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace nas::graph {
@@ -33,6 +34,15 @@ void bfs_into(const Graph& g, Vertex source, std::span<std::uint32_t> dist,
 
 /// Convenience overload that resizes `dist` to n first.
 void bfs_into(const Graph& g, Vertex source, std::vector<std::uint32_t>& dist,
+              std::vector<Vertex>& frontier);
+
+/// CSR twins of bfs_into: identical traversal order (neighbors ascending),
+/// identical buffers, so distances are byte-identical to the adjacency-list
+/// path.  This is the serving hot loop — the oracle, the verifier, and APSP
+/// all run on it.
+void bfs_into(const Csr& g, Vertex source, std::span<std::uint32_t> dist,
+              std::vector<Vertex>& frontier);
+void bfs_into(const Csr& g, Vertex source, std::vector<std::uint32_t>& dist,
               std::vector<Vertex>& frontier);
 
 /// BFS from a set of sources.  Ties between equidistant sources are broken

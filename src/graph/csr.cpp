@@ -1,0 +1,72 @@
+#include "graph/csr.hpp"
+
+namespace nas::graph {
+
+namespace {
+
+/// The owned-array backing store a from_graph/adopt Csr keeps alive.
+struct OwnedArrays {
+  std::vector<std::uint64_t> offsets;
+  std::vector<Vertex> entries;
+};
+
+}  // namespace
+
+Csr Csr::from_graph(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  auto arrays = std::make_shared<OwnedArrays>();
+  arrays->offsets.resize(static_cast<std::size_t>(n) + 1);
+  arrays->entries.reserve(2 * g.num_edges());
+  arrays->offsets[0] = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto neighbors = g.neighbors(v);
+    arrays->entries.insert(arrays->entries.end(), neighbors.begin(),
+                           neighbors.end());
+    arrays->offsets[v + 1] = arrays->entries.size();
+  }
+  // Bind the spans before std::move(arrays): argument evaluation order is
+  // unspecified, so passing arrays->offsets and std::move(arrays) in one
+  // call could read a moved-from (null) shared_ptr.
+  const std::span<const std::uint64_t> offsets(arrays->offsets);
+  const std::span<const Vertex> entries(arrays->entries);
+  return view(offsets, entries, std::move(arrays));
+}
+
+Csr Csr::adopt(std::vector<std::uint64_t> offsets,
+               std::vector<Vertex> entries) {
+  auto arrays = std::make_shared<OwnedArrays>();
+  arrays->offsets = std::move(offsets);
+  arrays->entries = std::move(entries);
+  const std::span<const std::uint64_t> offset_view(arrays->offsets);
+  const std::span<const Vertex> entry_view(arrays->entries);
+  return view(offset_view, entry_view, std::move(arrays));
+}
+
+Csr Csr::view(std::span<const std::uint64_t> offsets,
+              std::span<const Vertex> entries,
+              std::shared_ptr<const void> keepalive) {
+  Csr csr;
+  csr.offsets_ = offsets;
+  csr.entries_ = entries;
+  csr.storage_ = std::move(keepalive);
+  return csr;
+}
+
+Graph Csr::to_graph() const {
+  const Vertex n = num_vertices();
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+std::string Csr::summary() const {
+  return "Graph(n=" + std::to_string(num_vertices()) +
+         ", m=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace nas::graph

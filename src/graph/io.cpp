@@ -12,6 +12,15 @@ void write_edge_list(const Graph& g, std::ostream& out) {
   for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
 }
 
+void write_edge_list(const Csr& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
 void write_edge_list_file(const Graph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_edge_list_file: cannot open " + path);

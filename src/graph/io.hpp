@@ -9,11 +9,17 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace nas::graph {
 
 void write_edge_list(const Graph& g, std::ostream& out);
+/// CSR overload: emits the canonical edges (u < v) in the same lexicographic
+/// order as the Graph overload, so the bytes are identical for the same
+/// adjacency — the v1 snapshot writer runs on this without materializing an
+/// adjacency-list Graph first.
+void write_edge_list(const Csr& g, std::ostream& out);
 void write_edge_list_file(const Graph& g, const std::string& path);
 
 /// `line_offset` is added to every reported line number, so callers that

@@ -1,8 +1,10 @@
 #include "run/runner.hpp"
 
 #include <atomic>
+#include <filesystem>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "apps/distance_oracle.hpp"
@@ -15,7 +17,40 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace nas::run {
+
+namespace {
+
+/// A collision-free scratch path for one scenario's snapshot round-trip:
+/// process-unique (pid) and runner-unique (atomic counter), so concurrent
+/// runner workers — and concurrent nas processes sharing one temp dir —
+/// never clobber each other's files.
+std::string temp_snapshot_path(const std::string& ext) {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#else
+  const std::uint64_t pid = 0;
+#endif
+  const auto name = "nas_run_snapshot_" + std::to_string(pid) + "_" +
+                    std::to_string(counter.fetch_add(1)) + ext;
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// RAII unlink so a throwing load still cleans the scratch file up.
+struct ScopedRemove {
+  std::string path;
+  ~ScopedRemove() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort
+  }
+};
+
+}  // namespace
 
 ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
                           const RunOptions& options) {
@@ -87,21 +122,53 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
       // Serving stage: build the oracle over the produced spanner (identity
       // rows serve exact distances) and answer one generated batch — through
       // one oracle, or through a ShardedCluster when the spec asks for one.
-      // Every recorded field is deterministic at any query-thread count,
-      // cache budget, and shard count; only oracle_wall_ms is not.
+      // A snapshot_format other than "none" inserts a save/reload round-trip
+      // first: the oracle is written to a scratch file in that format, the
+      // serving structure is loaded back (v2: mmapped), and the batch runs
+      // against the loaded copy.  Every recorded field is deterministic at
+      // any query-thread count, cache budget, shard count, and snapshot
+      // format; only the wall-clock fields are not.
       util::Timer oracle_timer;
       const apps::WorkloadSpec workload_spec{spec.workload, spec.queries,
                                              spec.workload_seed,
                                              spec.zipf_theta};
       const auto requests =
           apps::make_query_workload(spanner->num_vertices(), workload_spec);
+
+      std::optional<apps::SnapshotFormat> snapshot_format;
+      if (spec.snapshot_format != "none") {
+        snapshot_format = apps::parse_snapshot_format(spec.snapshot_format);
+      }
+      const auto round_trip =
+          [&](const apps::SpannerDistanceOracle& built) -> std::string {
+        const auto path = temp_snapshot_path(
+            *snapshot_format == apps::SnapshotFormat::kV2 ? ".naso2" : ".naso");
+        built.save_file(path, *snapshot_format);
+        row.snapshot_bytes = std::filesystem::file_size(path);
+        return path;
+      };
+
       if (spec.cluster_shards == 0) {
-        const apps::SpannerDistanceOracle oracle(
-            *spanner, row.guarantee_mult, row.guarantee_add,
-            {.cache_budget_bytes = spec.cache_budget});
+        const apps::OracleOptions oracle_options{.cache_budget_bytes =
+                                                     spec.cache_budget};
+        std::optional<apps::SpannerDistanceOracle> oracle;
+        std::optional<ScopedRemove> scratch;
+        if (!snapshot_format.has_value()) {
+          oracle.emplace(*spanner, row.guarantee_mult, row.guarantee_add,
+                         oracle_options);
+        } else {
+          const apps::SpannerDistanceOracle built(*spanner, row.guarantee_mult,
+                                                  row.guarantee_add,
+                                                  oracle_options);
+          scratch.emplace(round_trip(built));
+          util::Timer warmup_timer;
+          oracle.emplace(apps::SpannerDistanceOracle::load_file(
+              scratch->path, oracle_options));
+          row.snapshot_warmup_ms = warmup_timer.millis();
+        }
         apps::BatchStats stats;
         const auto answers =
-            oracle.batch_query(requests, spec.query_threads, &stats);
+            oracle->batch_query(requests, spec.query_threads, &stats);
         row.oracle_queries = stats.queries;
         row.oracle_shards = stats.shards;
         row.oracle_sources = stats.distinct_sources;
@@ -110,14 +177,28 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
         row.oracle_evictions = stats.evictions;
         row.oracle_digest = apps::digest_answers(answers);
       } else {
-        serve::ShardedCluster cluster(
-            *spanner, row.guarantee_mult, row.guarantee_add,
-            {.shards = spec.cluster_shards,
-             .partition = spec.partition,
-             .shard_cache_budget_bytes = spec.cache_budget});
+        const serve::ClusterOptions cluster_options{
+            .shards = spec.cluster_shards,
+            .partition = spec.partition,
+            .shard_cache_budget_bytes = spec.cache_budget};
+        std::optional<serve::ShardedCluster> cluster;
+        std::optional<ScopedRemove> scratch;
+        if (!snapshot_format.has_value()) {
+          cluster.emplace(*spanner, row.guarantee_mult, row.guarantee_add,
+                          cluster_options);
+        } else {
+          const apps::SpannerDistanceOracle built(
+              *spanner, row.guarantee_mult, row.guarantee_add,
+              apps::OracleOptions{.cache_budget_bytes = 0});
+          scratch.emplace(round_trip(built));
+          util::Timer warmup_timer;
+          cluster.emplace(serve::ShardedCluster::from_snapshot_files(
+              {scratch->path}, cluster_options));
+          row.snapshot_warmup_ms = warmup_timer.millis();
+        }
         serve::ClusterStats stats;
         const auto answers =
-            cluster.serve(requests, spec.query_threads, &stats);
+            cluster->serve(requests, spec.query_threads, &stats);
         row.oracle_queries = stats.requests;
         row.oracle_shards = stats.shards_used;
         row.oracle_sources = stats.distinct_sources;

@@ -65,11 +65,16 @@ struct ResultRow {
   std::uint64_t oracle_evictions = 0;
   std::uint64_t oracle_digest = 0;
   std::uint64_t cluster_shards_used = 0;  ///< shards with >= 1 routed request
+  /// Snapshot round-trip results (spec.snapshot_format != "none"): the
+  /// on-disk size of the saved snapshot.  Deterministic — v1 is canonical
+  /// text, v2 a fixed-layout binary image — so the sinks always emit it.
+  std::uint64_t snapshot_bytes = 0;
 
   // Wall clock — nondeterministic; sinks emit these only on request.
   double build_wall_ms = 0.0;
   double verify_wall_ms = 0.0;
   double oracle_wall_ms = 0.0;  ///< workload generation + batch answering
+  double snapshot_warmup_ms = 0.0;  ///< snapshot reload (v2: mmap) time
 
   // Retained only when RunOptions::keep_graphs (wrappers that post-process
   // the actual spanner, e.g. per-distance error profiles or edge-list dumps).

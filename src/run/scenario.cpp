@@ -53,6 +53,10 @@ std::string ScenarioSpec::id() const {
       out += "/";
       out += partition;
     }
+    if (snapshot_format != "none") {
+      out += "/sf=";
+      out += snapshot_format;
+    }
   }
   return out;
 }
@@ -72,35 +76,38 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
                     for (const auto cache_budget : cache_budgets)
                       for (const auto threads : query_threads)
                         for (const auto shards : cluster_shards)
-                          for (const auto& partition : partitions) {
-                            ScenarioSpec s;
-                            s.family = family;
-                            s.n = n;
-                            s.seed = seed;
-                            s.algo = algo;
-                            s.algo_seed = algo_seed;
-                            s.eps = eps;
-                            s.kappa = kappa;
-                            s.rho = rho;
-                            s.mode = mode;
-                            s.substrate = substrate;
-                            s.build_threads = build_threads;
-                            s.crosscheck = crosscheck;
-                            s.validate = validate;
-                            s.verify_mode = verify_mode;
-                            s.verify_sources = verify_sources;
-                            s.verify_threads = verify_threads;
-                            s.verify_seed = verify_seed;
-                            s.workload = workload;
-                            s.queries = queries;
-                            s.workload_seed = workload_seed;
-                            s.zipf_theta = zipf_theta;
-                            s.cache_budget = cache_budget;
-                            s.query_threads = threads;
-                            s.cluster_shards = shards;
-                            s.partition = partition;
-                            specs.push_back(std::move(s));
-                          }
+                          for (const auto& partition : partitions)
+                            for (const auto& snapshot_format :
+                                 snapshot_formats) {
+                              ScenarioSpec s;
+                              s.family = family;
+                              s.n = n;
+                              s.seed = seed;
+                              s.algo = algo;
+                              s.algo_seed = algo_seed;
+                              s.eps = eps;
+                              s.kappa = kappa;
+                              s.rho = rho;
+                              s.mode = mode;
+                              s.substrate = substrate;
+                              s.build_threads = build_threads;
+                              s.crosscheck = crosscheck;
+                              s.validate = validate;
+                              s.verify_mode = verify_mode;
+                              s.verify_sources = verify_sources;
+                              s.verify_threads = verify_threads;
+                              s.verify_seed = verify_seed;
+                              s.workload = workload;
+                              s.queries = queries;
+                              s.workload_seed = workload_seed;
+                              s.zipf_theta = zipf_theta;
+                              s.cache_budget = cache_budget;
+                              s.query_threads = threads;
+                              s.cluster_shards = shards;
+                              s.partition = partition;
+                              s.snapshot_format = snapshot_format;
+                              specs.push_back(std::move(s));
+                            }
   return specs;
 }
 
@@ -108,7 +115,7 @@ std::size_t ScenarioMatrix::size() const {
   return families.size() * ns.size() * seeds.size() * algos.size() *
          algo_seeds.size() * epss.size() * kappas.size() * rhos.size() *
          workloads.size() * cache_budgets.size() * query_threads.size() *
-         cluster_shards.size() * partitions.size();
+         cluster_shards.size() * partitions.size() * snapshot_formats.size();
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -231,6 +238,15 @@ void ScenarioMatrix::set(const std::string& key, const std::string& value) {
           (void)serve::parse_partition(v);  // validates; throws on bad names
           return v;
         });
+  } else if (key == "snapshot-format") {
+    snapshot_formats = parse_list<std::string>(
+        key, value, [](const std::string&, const std::string& v) {
+          if (v != "none" && v != "v1" && v != "v2") {
+            throw std::invalid_argument(
+                "snapshot-format must be none|v1|v2, got \"" + v + "\"");
+          }
+          return v;
+        });
   } else if (key == "queries") {
     queries = static_cast<std::uint64_t>(non_negative(key, value));
   } else if (key == "workload-seed") {
@@ -273,6 +289,8 @@ void ScenarioMatrix::apply_flags(const util::Flags& flags) {
       {"cluster-shards", "0",
        "serving-cluster shard counts, 0 = single oracle (comma list)"},
       {"partition", "hash", "cluster partitioners: hash|range (comma list)"},
+      {"snapshot-format", "none",
+       "serving snapshot round-trips: none|v1|v2 (comma list)"},
       {"queries", "1000", "oracle requests per batch"},
       {"workload-seed", "1", "oracle request-generator seed"},
       {"zipf-theta", "0.99", "zipf workload skew exponent"},

@@ -79,12 +79,19 @@ struct ScenarioSpec {
   unsigned cluster_shards = 0;
   std::string partition = "hash";
 
+  // Snapshot round-trip axis: "none" serves straight from the built spanner;
+  // "v1"/"v2" save the oracle snapshot in that format, reload it (v2 via
+  // mmap), and serve from the loaded structure — measuring warmup cost and
+  // proving answers are format-independent.  Ignored when `workload` is off.
+  std::string snapshot_format = "none";  ///< "none" | "v1" | "v2"
+
   /// Compact deterministic identifier, e.g.
   /// "er/n=512/seed=1/em/eps=0.25/kappa=3/rho=0.4"; serving scenarios append
   /// "/w=<workload>/q=<queries>/cb=<cache_budget>/qt=<query_threads>" (and
-  /// clustered ones "/cs=<cluster_shards>/<partition>") so every expansion
-  /// axis is visible in the id (rows of a serving sweep stay
-  /// distinguishable in logs and grouped sink output).
+  /// clustered ones "/cs=<cluster_shards>/<partition>", snapshot round-trips
+  /// "/sf=<snapshot_format>") so every expansion axis is visible in the id
+  /// (rows of a serving sweep stay distinguishable in logs and grouped sink
+  /// output).
   [[nodiscard]] std::string id() const;
 };
 
@@ -105,6 +112,8 @@ struct ScenarioMatrix {
   // Serving-cluster axes: shard counts (0 = single oracle) and partitioners.
   std::vector<unsigned> cluster_shards{0};
   std::vector<std::string> partitions{"hash"};
+  // Snapshot round-trip axis: none|v1|v2 (see ScenarioSpec::snapshot_format).
+  std::vector<std::string> snapshot_formats{"none"};
 
   // Scalar (non-matrix) settings copied into every spec.
   std::string mode = "practical";
@@ -122,8 +131,9 @@ struct ScenarioMatrix {
 
   /// The cross product in fixed nesting order — family outermost, then n,
   /// seed, algo, algo_seed, eps, kappa, rho, workload, cache_budget,
-  /// query_threads, cluster_shards, partition innermost.  Deterministic: the
-  /// i-th spec depends only on the axis lists, never on execution.
+  /// query_threads, cluster_shards, partition, snapshot_format innermost.
+  /// Deterministic: the i-th spec depends only on the axis lists, never on
+  /// execution.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Number of specs expand() will produce.

@@ -52,6 +52,8 @@ util::JsonObject row_fields(const ResultRow& row, const SinkOptions& options) {
        JsonValue::number(static_cast<std::uint64_t>(spec.cluster_shards))},
       {"cluster_partition", JsonValue::str(spec.partition)},
       {"cluster_shards_used", JsonValue::number(row.cluster_shards_used)},
+      {"snapshot_format", JsonValue::str(spec.snapshot_format)},
+      {"snapshot_bytes", JsonValue::number(row.snapshot_bytes)},
       {"ok", JsonValue::boolean(row.ok)},
       {"error", JsonValue::str(row.error)},
   };
@@ -62,6 +64,8 @@ util::JsonObject row_fields(const ResultRow& row, const SinkOptions& options) {
                         JsonValue::literal(format_real(row.verify_wall_ms, 4)));
     fields.emplace_back("oracle_ms",
                         JsonValue::literal(format_real(row.oracle_wall_ms, 4)));
+    fields.emplace_back(
+        "warmup_ms", JsonValue::literal(format_real(row.snapshot_warmup_ms, 4)));
   }
   if (options.extra) {
     for (auto& field : options.extra(row)) fields.push_back(std::move(field));

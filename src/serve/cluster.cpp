@@ -10,15 +10,16 @@ namespace nas::serve {
 namespace {
 
 std::vector<apps::SpannerDistanceOracle> replicate(
-    const graph::Graph& spanner, double multiplicative, double additive,
+    const graph::Csr& spanner, double multiplicative, double additive,
     const ClusterOptions& options) {
   const apps::OracleOptions oracle_options{
       .cache_budget_bytes = options.shard_cache_budget_bytes};
   std::vector<apps::SpannerDistanceOracle> shards;
   shards.reserve(options.shards);
   for (unsigned s = 0; s < options.shards; ++s) {
-    shards.emplace_back(graph::Graph(spanner), multiplicative, additive,
-                        oracle_options);
+    // Csr copies are O(1) views onto the same arrays: every shard serves
+    // the identical immutable structure, only the caches are per-shard.
+    shards.emplace_back(spanner, multiplicative, additive, oracle_options);
   }
   return shards;
 }
@@ -28,7 +29,7 @@ std::vector<apps::SpannerDistanceOracle> replicate(
 ShardedCluster::ShardedCluster(std::vector<apps::SpannerDistanceOracle> shards,
                                const ClusterOptions& options)
     : partitioner_(parse_partition(options.partition), options.shards,
-                   shards.empty() ? 0 : shards.front().spanner().num_vertices()),
+                   shards.empty() ? 0 : shards.front().num_vertices()),
       shards_(std::move(shards)) {
   if (shards_.size() != options.shards) {
     throw std::invalid_argument("ShardedCluster: shard count mismatch");
@@ -38,6 +39,11 @@ ShardedCluster::ShardedCluster(std::vector<apps::SpannerDistanceOracle> shards,
 ShardedCluster::ShardedCluster(const graph::Graph& spanner,
                                double multiplicative, double additive,
                                const ClusterOptions& options)
+    : ShardedCluster(graph::Csr::from_graph(spanner), multiplicative, additive,
+                     options) {}
+
+ShardedCluster::ShardedCluster(graph::Csr spanner, double multiplicative,
+                               double additive, const ClusterOptions& options)
     : ShardedCluster(replicate(spanner, multiplicative, additive, options),
                      options) {}
 
@@ -57,10 +63,12 @@ ShardedCluster ShardedCluster::from_snapshot_files(
       .cache_budget_bytes = options.shard_cache_budget_bytes};
 
   if (paths.size() == 1) {
-    // One snapshot, replicated: load once, copy the structure per shard.
+    // One snapshot, loaded/mapped once: every shard views the same CSR
+    // arrays (for a v2 snapshot that is the mmap handoff — the file is
+    // mapped a single time and the mapping is shared across all shards).
     const auto loaded =
         apps::SpannerDistanceOracle::load_file(paths.front(), oracle_options);
-    return ShardedCluster(loaded.spanner(), loaded.multiplicative(),
+    return ShardedCluster(loaded.csr(), loaded.multiplicative(),
                           loaded.additive(), options);
   }
 
@@ -77,7 +85,7 @@ ShardedCluster ShardedCluster::from_snapshot_files(
   // edge-set comparison).
   const auto& first = shards.front();
   for (std::size_t s = 1; s < shards.size(); ++s) {
-    if (shards[s].spanner().num_vertices() != first.spanner().num_vertices()) {
+    if (shards[s].num_vertices() != first.num_vertices()) {
       throw std::runtime_error("ShardedCluster: snapshot " + paths[s] +
                                " disagrees on the vertex universe");
     }

@@ -6,9 +6,11 @@
 // linear-size spanner is what makes partitioning viable: every shard can
 // afford the whole structure (O(β·n^{1+1/κ}) edges), so only the *cache* —
 // the 4·n-bytes-per-source part that actually grows with traffic — needs
-// partitioning.  A ShardedCluster is N shard oracles, each owning a private
-// copy of the spanner plus its own byte-budgeted source cache, fronted by a
-// Router that assigns every request to the shard owning its routing key.
+// partitioning.  A ShardedCluster is N shard oracles sharing one immutable
+// CSR spanner (graph::Csr copies are O(1) views onto the same arrays; for a
+// v2 binary snapshot those arrays live in a shared file mapping), each with
+// its own byte-budgeted source cache, fronted by a Router that assigns
+// every request to the shard owning its routing key.
 //
 // Determinism contract (the repo's signature guarantee, extended to the
 // cluster): the answer vector returned by `serve` is byte-identical
@@ -67,16 +69,23 @@ struct ClusterStats {
 class ShardedCluster {
  public:
   /// Partitions serving of `spanner` (guarantee d_H <= multiplicative·d_G +
-  /// additive) across options.shards oracles.  Each shard copies the
-  /// spanner; per-shard memory is |H| plus the shard's cache budget.
+  /// additive) across options.shards oracles.  The adjacency is converted
+  /// to CSR once and shared by every shard; per-shard marginal memory is
+  /// just the shard's cache budget.
   ShardedCluster(const graph::Graph& spanner, double multiplicative,
                  double additive, const ClusterOptions& options = {});
 
-  /// Warm-starts every shard from one NAS-ORACLE snapshot (loaded once,
-  /// replicated), or from per-shard snapshot paths — `paths` must then have
-  /// exactly options.shards entries, and every snapshot must agree on the
-  /// vertex universe and the guarantee pair (std::runtime_error names the
-  /// first disagreeing shard otherwise).
+  /// Same, from a CSR view (shared as-is, no conversion or copy).
+  ShardedCluster(graph::Csr spanner, double multiplicative, double additive,
+                 const ClusterOptions& options = {});
+
+  /// Warm-starts every shard from one NAS-ORACLE snapshot — loaded/mapped
+  /// ONCE, with all shards serving the same structure (a v2 snapshot hands
+  /// each shard a view into one shared mmap) — or from per-shard snapshot
+  /// paths: `paths` must then have exactly options.shards entries, and
+  /// every snapshot must agree on the vertex universe and the guarantee
+  /// pair (std::runtime_error names the first disagreeing shard otherwise).
+  /// Formats are auto-detected per file (v1 text or v2 binary).
   [[nodiscard]] static ShardedCluster from_snapshot_files(
       const std::vector<std::string>& paths, const ClusterOptions& options = {});
 

@@ -1,0 +1,77 @@
+#include "util/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NAS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace nas::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("MappedFile: cannot " + std::string(what) + " " +
+                           path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
+  std::shared_ptr<MappedFile> file(new MappedFile());
+#if NAS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "stat");
+  }
+  file->size_ = static_cast<std::size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* addr = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      fail(path, "mmap");
+    }
+    file->data_ = static_cast<const std::byte*>(addr);
+    file->mmapped_ = true;
+  }
+  ::close(fd);  // the mapping survives the descriptor
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("MappedFile: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  if (size > 0) {
+    auto* buffer = new std::byte[size];
+    if (!in.read(reinterpret_cast<char*>(buffer), size)) {
+      delete[] buffer;
+      throw std::runtime_error("MappedFile: short read from " + path);
+    }
+    file->data_ = buffer;
+    file->size_ = size;
+  }
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if NAS_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#else
+  delete[] data_;
+#endif
+}
+
+}  // namespace nas::util

@@ -43,8 +43,8 @@ struct Scratch {
   std::vector<Vertex> frontier;
 };
 
-SourceAccum accumulate_source(const Graph& g, const Graph& h, Vertex s,
-                              double m, double a, Scratch& scratch) {
+SourceAccum accumulate_source(const graph::Csr& g, const graph::Csr& h,
+                              Vertex s, double m, double a, Scratch& scratch) {
   graph::bfs_into(g, s, scratch.dg, scratch.frontier);
   graph::bfs_into(h, s, scratch.dh, scratch.frontier);
   SourceAccum acc;
@@ -86,12 +86,17 @@ StretchReport verify_over_sources(const Graph& g, const Graph& h,
   if (g.num_vertices() != h.num_vertices()) {
     throw std::invalid_argument("verify_stretch: vertex count mismatch");
   }
+  // Convert both adjacencies to CSR once and run every BFS on the flat
+  // arrays (same neighbor order, so the report stays bit-identical to the
+  // adjacency-list path the verifier used before).
+  const graph::Csr gc = graph::Csr::from_graph(g);
+  const graph::Csr hc = graph::Csr::from_graph(h);
   std::vector<SourceAccum> partials(sources.size());
   util::ThreadPool::run_sharded(
       sources.size(), threads, [&](std::size_t begin, std::size_t end) {
         Scratch scratch;
         for (std::size_t i = begin; i < end; ++i) {
-          partials[i] = accumulate_source(g, h, sources[i], m, a, scratch);
+          partials[i] = accumulate_source(gc, hc, sources[i], m, a, scratch);
         }
       });
 

@@ -8,6 +8,9 @@
 //   # build from a generated graph, save the serving snapshot
 //   ./nas_oracle --family er --n 2000 --seed 1 --eps 0.25 --save oracle.naso
 //
+//   # migrate a v1 text snapshot to the v2 binary (mmap-able) format
+//   ./nas_oracle --load oracle.naso --convert oracle.naso2 --snapshot-format v2
+//
 //   # serve a zipfian heavy-traffic batch from the snapshot, 8 shards
 //   ./nas_oracle --load oracle.naso --workload zipf --queries 20000
 //                --query-threads 8 --cache-budget 16777216 --answers out.txt
@@ -56,6 +59,14 @@ int main(int argc, char** argv) {
         flags.str("mode", "practical", "schedule mode: practical|paper");
     const std::string save_path =
         flags.str("save", "", "write the serving snapshot to this path");
+    const std::string convert_path = flags.str(
+        "convert", "",
+        "write the loaded/built oracle as a fresh snapshot to this path "
+        "(migration between --snapshot-format encodings)");
+    const std::string snapshot_format_name = flags.str(
+        "snapshot-format", "v1",
+        "encoding for --save/--convert: v1 (text) | v2 (binary, mmap-able); "
+        "--load auto-detects");
 
     // Serving configuration.  Negative values would wrap to huge unsigned
     // ones (an accidentally unbounded cache), so they are rejected here.
@@ -97,6 +108,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     flags.reject_unknown();
+    const auto snapshot_format =
+        apps::parse_snapshot_format(snapshot_format_name);
 
     const apps::OracleOptions oracle_options{.cache_budget_bytes = cache_budget};
     util::Timer build_timer;
@@ -115,14 +128,21 @@ int main(int argc, char** argv) {
       return apps::SpannerDistanceOracle(g, params, oracle_options);
     }();
     const double build_ms = build_timer.millis();
-    std::cerr << "oracle: " << oracle.spanner().summary() << ", guarantee d_H <= "
+    std::cerr << "oracle: " << oracle.summary() << ", guarantee d_H <= "
               << oracle.multiplicative() << "*d_G + " << oracle.additive()
               << ", cache capacity " << oracle.cache_capacity()
               << " sources\n";
 
     if (!save_path.empty()) {
-      oracle.save_file(save_path);
-      std::cerr << "saved snapshot to " << save_path << "\n";
+      oracle.save_file(save_path, snapshot_format);
+      std::cerr << "saved " << apps::snapshot_format_name(snapshot_format)
+                << " snapshot to " << save_path << "\n";
+    }
+    if (!convert_path.empty()) {
+      oracle.save_file(convert_path, snapshot_format);
+      std::cerr << "converted snapshot to "
+                << apps::snapshot_format_name(snapshot_format) << " at "
+                << convert_path << "\n";
     }
 
     std::vector<apps::Query> queries;
@@ -130,7 +150,7 @@ int main(int argc, char** argv) {
       queries = apps::read_query_file(query_file);
     } else if (!workload.empty()) {
       queries = apps::make_query_workload(
-          oracle.spanner().num_vertices(),
+          oracle.num_vertices(),
           {workload, num_queries, workload_seed, zipf_theta});
     }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "apps/query_workload.hpp"
+#include "apps/snapshot.hpp"
 #include "core/params.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -79,6 +80,10 @@ int main(int argc, char** argv) {
     }
     const std::string partition =
         flags.str("partition", "hash", "vertex partitioner: hash|range");
+    const std::string snapshot_format_guard = flags.str(
+        "snapshot-format", "auto",
+        "require --load snapshots to be this format: auto|v1|v2 (auto "
+        "accepts either; a mismatch is an error before any load runs)");
     const auto cache_budget = static_cast<std::uint64_t>(non_negative(
         "cache-budget", 64 << 20, "per-shard cache budget in bytes, 0 = off"));
     const auto threads = static_cast<unsigned>(non_negative(
@@ -107,6 +112,26 @@ int main(int argc, char** argv) {
       return 0;
     }
     flags.reject_unknown();
+    if (snapshot_format_guard != "auto" && snapshot_format_guard != "v1" &&
+        snapshot_format_guard != "v2") {
+      throw std::invalid_argument(
+          "flag --snapshot-format must be auto|v1|v2, got \"" +
+          snapshot_format_guard + "\"");
+    }
+    if (snapshot_format_guard != "auto" && !load_spec.empty()) {
+      // Deployment guard: a cluster pinned to one encoding refuses to warm
+      // from the other, before any shard loads (cheap magic-byte sniff).
+      const auto want = apps::parse_snapshot_format(snapshot_format_guard);
+      for (const auto& path : run::split_list(load_spec)) {
+        const auto have = apps::detect_snapshot_format(path);
+        if (have != want) {
+          throw std::runtime_error(
+              std::string("snapshot ") + path + " is " +
+              apps::snapshot_format_name(have) + " but --snapshot-format " +
+              snapshot_format_guard + " was requested");
+        }
+      }
+    }
 
     const serve::ClusterOptions cluster_options{
         .shards = shards,
@@ -133,7 +158,7 @@ int main(int argc, char** argv) {
     const double build_ms = build_timer.millis();
     std::cerr << "cluster: " << cluster.num_shards() << " shards ("
               << cluster.partitioner().name() << " partition), "
-              << cluster.shard(0).spanner().summary() << " per shard, "
+              << cluster.shard(0).summary() << " per shard, "
               << "guarantee d_H <= " << cluster.multiplicative() << "*d_G + "
               << cluster.additive() << ", cache capacity "
               << cluster.shard(0).cache_capacity() << " sources/shard\n";
