@@ -203,8 +203,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Alg1Case{"dumbbell", 50, 2, 5, 1},
                       Alg1Case{"er", 300, 2, 6, 1},
                       Alg1Case{"geometric", 200, 3, 5, 2}),
-    [](const auto& info) {
-      const auto& c = info.param;
+    [](const auto& param_info) {
+      const auto& c = param_info.param;
       return c.family + "_n" + std::to_string(c.n) + "_d" +
              std::to_string(c.delta) + "_c" + std::to_string(c.cap) + "_s" +
              std::to_string(c.center_stride);

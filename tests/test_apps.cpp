@@ -117,8 +117,8 @@ TEST_P(Additive2Families, PurelyAdditivePlusTwo) {
 INSTANTIATE_TEST_SUITE_P(Sweep, Additive2Families,
                          ::testing::Values("er", "er_dense", "ba", "caveman",
                                            "hypercube", "dumbbell"),
-                         [](const auto& info) {
-                           return std::string(info.param);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
                          });
 
 TEST(Additive2, SparseGraphsKeptVerbatim) {

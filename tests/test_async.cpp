@@ -115,7 +115,7 @@ TEST_P(AlphaFamilies, BfsMatchesSynchronousExecution) {
 INSTANTIATE_TEST_SUITE_P(Families, AlphaFamilies,
                          ::testing::Values("er", "grid", "tree", "cycle",
                                            "dumbbell", "hypercube"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(Alpha, ControlOverheadScalesWithEdges) {
   // Per executed round, α exchanges SAFE on every edge-direction plus one

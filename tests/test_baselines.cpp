@@ -87,8 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
                       BaselineCase{"dumbbell", 120, 6},
                       BaselineCase{"cycle", 90, 7},
                       BaselineCase{"er_dense", 180, 8}),
-    [](const auto& info) {
-      return info.param.family + "_n" + std::to_string(info.param.n);
+    [](const auto& param_info) {
+      return param_info.param.family + "_n" + std::to_string(param_info.param.n);
     });
 
 TEST(BaswanaSen, DeterministicPerSeed) {

@@ -132,7 +132,7 @@ TEST_P(CongestBfsFamilies, MatchesCentralizedDistances) {
 INSTANTIATE_TEST_SUITE_P(Families, CongestBfsFamilies,
                          ::testing::Values("er", "grid", "hypercube", "tree",
                                            "dumbbell", "cycle"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(CongestBfs, DepthBounded) {
   const Graph g = graph::path(10);

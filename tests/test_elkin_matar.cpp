@@ -123,8 +123,8 @@ INSTANTIATE_TEST_SUITE_P(
         EmCase{"star", 150, 0.5, 3, 0.4, 14},
         EmCase{"er", 200, 0.5, 4, 0.3, 15},
         EmCase{"er", 200, 0.4, 8, 0.4, 16}),
-    [](const auto& info) {
-      const auto& c = info.param;
+    [](const auto& param_info) {
+      const auto& c = param_info.param;
       std::string eps = std::to_string(c.eps);
       eps.erase(eps.find_last_not_of('0') + 1);
       for (auto& ch : eps) {

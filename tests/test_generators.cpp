@@ -152,7 +152,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("er", "er_dense", "gnm", "regular", "grid", "torus",
                       "hypercube", "geometric", "ba", "caveman", "path",
                       "cycle", "star", "tree", "dumbbell"),
-    [](const auto& info) { return info.param; });
+    [](const auto& param_info) { return param_info.param; });
 
 TEST(Workload, UnknownFamilyThrows) {
   EXPECT_THROW(make_workload("nope", 100, 1), std::invalid_argument);

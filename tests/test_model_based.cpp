@@ -51,8 +51,8 @@ TEST_P(EdgeSetModel, MatchesReferenceSetUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EdgeSetModel,
                          ::testing::Values(1, 2, 3, 4, 5),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 class GraphQueryModel : public ::testing::TestWithParam<std::uint64_t> {};
@@ -73,8 +73,8 @@ TEST_P(GraphQueryModel, HasEdgeAgreesWithAdjacencyScan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphQueryModel, ::testing::Values(11, 12, 13),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 TEST(En17Determinism, SameSeedSameSpanner) {

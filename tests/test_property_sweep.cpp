@@ -75,9 +75,9 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(FamiliesBySeeds, EndToEndSweep,
                          ::testing::ValuesIn(sweep_cases()),
-                         [](const auto& info) {
-                           return std::get<0>(info.param) + "_s" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return std::get<0>(param_info.param) + "_s" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 // --- distance-oracle guarantee sweep -----------------------------------------
@@ -166,9 +166,9 @@ std::vector<OracleCase> oracle_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AlgosByFamilies, OracleGuaranteeSweep,
                          ::testing::ValuesIn(oracle_cases()),
-                         [](const auto& info) {
-                           return std::get<0>(info.param) + "_" +
-                                  std::get<1>(info.param);
+                         [](const auto& param_info) {
+                           return std::get<0>(param_info.param) + "_" +
+                                  std::get<1>(param_info.param);
                          });
 
 }  // namespace

@@ -69,11 +69,11 @@ TEST_P(NEstimateEndToEnd, GuaranteesSurvivePolyOverestimate) {
 
 INSTANTIATE_TEST_SUITE_P(Factors, NEstimateEndToEnd,
                          ::testing::Values(1, 2, 16, 250, 62500),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            // Assemble via += (GCC 12's -Wrestrict false
                            // positive PR105651 flags `"x" + rvalue string`).
                            std::string name = "x";
-                           name += std::to_string(info.param);
+                           name += std::to_string(param_info.param);
                            return name;
                          });
 

@@ -142,8 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RsCase{"geometric", 250, 4, 3, 2, 17},
                       RsCase{"tree", 127, 3, 2, 1, 1},
                       RsCase{"er_dense", 250, 2, 2, 1, 19}),
-    [](const auto& info) {
-      const auto& c = info.param;
+    [](const auto& param_info) {
+      const auto& c = param_info.param;
       return c.family + "_n" + std::to_string(c.n) + "_q" +
              std::to_string(c.q) + "_c" + std::to_string(c.c) + "_s" +
              std::to_string(c.stride);

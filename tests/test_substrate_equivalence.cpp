@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivalenceCase{"cycle", 60, 11},
                       EquivalenceCase{"dumbbell", 80, 13},
                       EquivalenceCase{"hypercube", 64, 15}),
-    [](const auto& info) { return info.param.family; });
+    [](const auto& param_info) { return param_info.param.family; });
 
 TEST(SubstrateEquivalence, CrossCheckedSpannerBuildAgreesOnAllSubstrates) {
   // End-to-end: build_spanner's Algorithm 1 cross-check passes — i.e. the
