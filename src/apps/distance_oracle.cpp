@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -145,7 +146,10 @@ std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
   std::vector<Vertex> source_of(queries.size(), graph::kInvalidVertex);
   std::vector<Vertex> missing;
   std::unordered_map<Vertex, std::size_t> missing_index;
-  std::unordered_set<Vertex> hit_sources;
+  // Hit sources are *iterated* below (refresh pass), so they live in a
+  // first-appearance vector; the unordered set only answers membership.
+  std::vector<Vertex> hit_sources;
+  std::unordered_set<Vertex> hit_seen;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const auto [u, v] = queries[i];
     if (u == v) continue;
@@ -157,7 +161,7 @@ std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
     }
     source_of[i] = s;
     if (cache_.count(s) != 0) {
-      hit_sources.insert(s);
+      if (hit_seen.insert(s).second) hit_sources.push_back(s);
     } else if (missing_index.emplace(s, missing.size()).second) {
       missing.push_back(s);
     }
@@ -189,8 +193,9 @@ std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
   }
 
   // Cache maintenance (serial, deterministic): the whole batch counts as one
-  // logical-clock tick; touched entries are refreshed, the fresh sources are
-  // inserted in first-appearance order, and eviction trims to the budget.
+  // logical-clock tick; touched entries are refreshed in first-appearance
+  // order, the fresh sources are inserted in first-appearance order, and
+  // eviction trims to the budget.
   ++clock_;
   for (const Vertex s : hit_sources) cache_.at(s).last_used = clock_;
   const auto evictions_before = evictions_;

@@ -42,11 +42,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/snapshot.hpp"
@@ -196,7 +196,11 @@ class SpannerDistanceOracle {
   double add_ = 0.0;
   std::uint64_t capacity_ = 0;  ///< max cached sources (from the byte budget)
 
-  mutable std::unordered_map<graph::Vertex, CacheEntry> cache_;
+  /// Keyed by source ID in a *sorted* map: the LRU victim scan iterates the
+  /// whole cache, and ordered iteration keeps that scan — and therefore the
+  /// eviction sequence — structurally deterministic instead of relying on a
+  /// hash-layout-commutes argument (nas_lint bans unordered iteration here).
+  mutable std::map<graph::Vertex, CacheEntry> cache_;
   mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t bfs_passes_ = 0;
   mutable std::uint64_t evictions_ = 0;
