@@ -33,15 +33,19 @@ BaselineResult build_baswana_sen_spanner(const Graph& g, int kappa,
 
   result.ledger.begin_section("baswana-sen iterations");
   for (int iter = 1; iter < kappa; ++iter) {
-    // 1. Sample cluster centers.
+    // 1. Sample cluster centers.  The RNG stream is consumed in ascending
+    // center order: iterating the live-center *set* here would hand each
+    // center a hash-layout-dependent draw, making the sampled set (and the
+    // whole spanner) depend on the standard library's bucket order rather
+    // than only on the seed.
     std::unordered_set<Vertex> sampled_centers;
     {
-      std::unordered_set<Vertex> live_centers;
+      std::vector<char> live(n, 0);
       for (Vertex v = 0; v < n; ++v) {
-        if (cluster[v] != kInvalidVertex) live_centers.insert(cluster[v]);
+        if (cluster[v] != kInvalidVertex) live[cluster[v]] = 1;
       }
-      for (Vertex c : live_centers) {
-        if (rng.bernoulli(sample_p)) sampled_centers.insert(c);
+      for (Vertex c = 0; c < n; ++c) {
+        if (live[c] && rng.bernoulli(sample_p)) sampled_centers.insert(c);
       }
     }
     // 2. Re-cluster each still-clustered vertex.
