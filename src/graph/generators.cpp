@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "graph/components.hpp"
 #include "util/rng.hpp"
@@ -167,7 +169,11 @@ Graph barabasi_albert(Vertex n, Vertex attach, std::uint64_t seed) {
   }
   if (endpoints.empty()) endpoints.push_back(0);
   for (Vertex v = attach; v < n; ++v) {
-    std::unordered_set<Vertex> targets;
+    // An *ordered* set: edges are emitted in ascending target order.  With a
+    // hash set the emission order — and through the endpoints array every
+    // later draw — would bake the standard library's bucket layout into the
+    // generated graph instead of only (n, attach, seed).
+    std::set<Vertex> targets;
     while (targets.size() < attach) {
       const Vertex t = endpoints[rng.below(endpoints.size())];
       if (t != v) targets.insert(t);
