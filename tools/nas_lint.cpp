@@ -1,0 +1,94 @@
+// nas_lint — the repo-invariant checker (see src/lint/lint.hpp for the rule
+// set and the reasoning).  Dry-run only by design: it prints file:line
+// diagnostics and exits nonzero; fixes stay human-sized diffs.
+//
+//   nas_lint --root .                 # walk src/ tools/ bench/ examples/
+//                                     # tests/ (skipping tests/data)
+//   nas_lint --files src/a.cpp,src/b.hpp --root .
+//   nas_lint --list-rules
+//
+// Registered as the `nas_lint_tree` ctest, so `ctest` fails locally the same
+// way the CI lint job does.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    nas::util::Flags flags(argc, argv);
+    const std::string root = flags.str(
+        "root", ".", "repo root; walks src/ tools/ bench/ examples/ tests/");
+    const std::string files_spec = flags.str(
+        "files", "", "comma-separated repo-relative files to lint instead");
+    const bool list_rules = flags.boolean(
+        "list-rules", false, "print the rule set and the allowlist, then exit");
+    const bool quiet =
+        flags.boolean("quiet", false, "suppress the summary line");
+    if (flags.handle_help(
+            "nas_lint — determinism and hygiene checker for this tree")) {
+      return 0;
+    }
+    flags.reject_unknown();
+
+    if (list_rules) {
+      for (const auto& rule : nas::lint::rules()) {
+        std::cout << rule.name << "\n    " << rule.description << "\n";
+      }
+      std::cout << "allowlist (rule: file):\n";
+      for (const auto& [rule, path] : nas::lint::allowlist()) {
+        std::cout << "    " << rule << ": " << path << "\n";
+      }
+      std::cout << "escape hatch: // nas-lint: allow(<rule>[, <rule>...]) on "
+                   "the flagged line or the line above\n";
+      return 0;
+    }
+
+    std::vector<nas::lint::Diagnostic> diagnostics;
+    if (!files_spec.empty()) {
+      for (const auto& rel : split_csv(files_spec)) {
+        std::ifstream in(root + "/" + rel, std::ios::binary);
+        if (!in) {
+          std::cerr << "nas_lint: cannot read " << rel << "\n";
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const auto diags = nas::lint::lint_file(rel, buf.str());
+        diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
+      }
+    } else {
+      diagnostics = nas::lint::lint_tree(root);
+    }
+
+    for (const auto& d : diagnostics) {
+      std::cout << nas::lint::render(d) << "\n";
+    }
+    if (!quiet) {
+      std::cerr << "nas_lint: " << diagnostics.size() << " finding"
+                << (diagnostics.size() == 1 ? "" : "s") << "\n";
+    }
+    return diagnostics.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "nas_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
