@@ -1,0 +1,9 @@
+// Corpus: the inline escape hatch.  A `nas-lint: allow(rule)` comment on
+// the same line or the line directly above suppresses exactly that rule.
+#include <cstdlib>
+
+int same_line() { return rand(); }  // nas-lint: allow(banned-random)
+// nas-lint: allow(banned-random)
+int previous_line() { return rand(); }
+int wrong_rule() { return rand(); }  // nas-lint: allow(banned-clock)
+int unsuppressed() { return rand(); }

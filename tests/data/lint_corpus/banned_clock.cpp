@@ -1,0 +1,15 @@
+// Corpus: banned-clock must fire on wall-clock and CPU-clock reads and stay
+// quiet on identifiers that merely contain the words.
+#include <chrono>
+#include <ctime>
+
+long bad_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+long bad_time() { return time(nullptr); }
+long bad_clock() { return clock(); }
+// steady_clock named in a comment is fine.
+long fine_wait_time(long wait_time) { return wait_time; }

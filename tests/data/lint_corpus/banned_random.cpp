@@ -1,0 +1,14 @@
+// Corpus: banned-random must fire on every stdlib randomness source and
+// stay quiet on mentions in comments and strings.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return rand(); }
+void bad_srand() { srand(42); }
+int bad_device() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+// rand() in a comment is fine.
+const char* fine_string() { return "call rand() at your peril"; }
+int fine_operand(int operand) { return operand; }

@@ -1,0 +1,10 @@
+// Corpus negative: every banned token below lives in a comment, a string,
+// a char literal, or a raw string — the stripper must blank them all.
+#include <string>
+
+/* rand() srand(7) std::random_device steady_clock time(nullptr) */
+const char* kDoc = "system_clock and rand() and unordered_map iteration";
+const char* kRaw = R"(clock() gettimeofday rand())";
+const char kChar = 'r';
+// for (const auto& kv : counts) over an unordered_map
+std::string describe() { return std::string(kDoc) + kRaw + kChar; }

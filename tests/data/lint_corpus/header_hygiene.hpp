@@ -1,0 +1,7 @@
+// Corpus: header-pragma-once fires at line 1 when the pragma is missing;
+// header-using-namespace fires on the directive's own line.
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hi"; }

@@ -1,0 +1,20 @@
+// Corpus: unordered-iteration must fire on range-for and .begin()/.end()
+// over a declared unordered container and stay quiet on membership tests.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int bad_range_for() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}
+std::vector<int> bad_begin() {
+  std::unordered_set<int> seen;
+  return std::vector<int>(seen.begin(), seen.end());
+}
+bool fine_membership(int key) {
+  std::unordered_set<int> seen;
+  return seen.count(key) != 0;
+}
