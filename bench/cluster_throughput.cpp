@@ -17,6 +17,7 @@
 //       [--partition hash,range]
 //       [--threads 1,2]           # pool slots serving the shards
 //       [--snapshot-format none,v1,v2]  # warm direct / from saved snapshot
+//       [--bfs-kernel auto,topdown,hybrid]  # traversal kernels to sweep
 //       [--json BENCH_cluster.json] [--csv out.csv]
 //
 // Thin wrapper over the scenario runner (specs differ only in the cluster
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
       "snapshot-format", "none",
       "comma-separated warmup paths: none (direct) | v1 | v2 (cluster warmed "
       "from a saved snapshot; warmup time is the shared reload cost)");
+  const std::string kernel_spec = flags.str(
+      "bfs-kernel", "auto",
+      "comma-separated BFS kernels: topdown|hybrid|auto (the digest gate "
+      "proves answers are kernel-independent)");
   const std::string json_path =
       flags.str("json", "BENCH_cluster.json", "perf JSON output path");
   const std::string csv_path = flags.str("csv", "", "CSV output path");
@@ -84,10 +89,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(util::Flags::parse_integer("threads", item)));
   }
   const auto format_list = run::split_list(format_spec);
+  const auto kernel_list = run::split_list(kernel_spec);
   if (shard_list.empty() || partition_list.empty() || thread_list.empty() ||
-      format_list.empty()) {
-    std::cerr << "error: empty --shards, --partition, --threads, or "
-                 "--snapshot-format list\n";
+      format_list.empty() || kernel_list.empty()) {
+    std::cerr << "error: empty --shards, --partition, --threads, "
+                 "--snapshot-format, or --bfs-kernel list\n";
     return 2;
   }
 
@@ -103,17 +109,20 @@ int main(int argc, char** argv) {
   // partition axis is meaningless there, so it is pinned to the first value
   // instead of duplicating the row per partitioner).
   std::vector<run::ScenarioSpec> specs;
-  for (const auto& format : format_list) {
-    for (const unsigned shards : shard_list) {
-      for (const auto& partition : partition_list) {
-        if (shards == 0 && partition != partition_list.front()) continue;
-        for (const unsigned threads : thread_list) {
-          auto spec = base;
-          spec.snapshot_format = format;
-          spec.cluster_shards = shards;
-          spec.partition = partition;
-          spec.query_threads = threads;
-          specs.push_back(spec);
+  for (const auto& kernel : kernel_list) {
+    for (const auto& format : format_list) {
+      for (const unsigned shards : shard_list) {
+        for (const auto& partition : partition_list) {
+          if (shards == 0 && partition != partition_list.front()) continue;
+          for (const unsigned threads : thread_list) {
+            auto spec = base;
+            spec.bfs_kernel = kernel;
+            spec.snapshot_format = format;
+            spec.cluster_shards = shards;
+            spec.partition = partition;
+            spec.query_threads = threads;
+            specs.push_back(spec);
+          }
         }
       }
     }
@@ -122,7 +131,7 @@ int main(int argc, char** argv) {
   // Sequential execution: per-row serving wall-clock must not share cores.
   const auto rows = runner.run(specs);
 
-  util::Table t({"format", "shards", "partition", "slots", "used",
+  util::Table t({"kernel", "format", "shards", "partition", "slots", "used",
                  "warmup ms", "serve ms", "kqueries/s", "BFS", "hits", "evict",
                  "digest ok"});
   bool all_ok = true, all_identical = true;
@@ -143,7 +152,7 @@ int main(int argc, char** argv) {
     identicals.push_back(identical);
     all_identical = all_identical && identical;
     all_ok = all_ok && row.passed();
-    t.add_row({row.spec.snapshot_format,
+    t.add_row({row.spec.bfs_kernel, row.spec.snapshot_format,
                std::to_string(row.spec.cluster_shards),
                row.spec.cluster_shards == 0 ? "-" : row.spec.partition,
                std::to_string(row.spec.query_threads),

@@ -16,6 +16,7 @@
 //       [--threads 1,2,4,8]       # query shards; first is the baseline
 //       [--budgets 0,4194304,67108864]  # cache budgets in bytes
 //       [--snapshot-format none,v1,v2]  # serve direct / via saved snapshot
+//       [--bfs-kernel auto,topdown,hybrid]  # traversal kernels to sweep
 //       [--json BENCH_oracle.json]      # unified rows + timing + extras
 //       [--csv out.csv]
 //
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
       "snapshot-format", "none",
       "comma-separated serving paths: none (direct) | v1 | v2 (snapshot "
       "round-trip; warmup time is the reload cost)");
+  const std::string kernel_spec = flags.str(
+      "bfs-kernel", "auto",
+      "comma-separated BFS kernels: topdown|hybrid|auto (the digest gate "
+      "proves answers are kernel-independent)");
   const std::string json_path =
       flags.str("json", "BENCH_oracle.json", "perf JSON output path");
   const std::string csv_path = flags.str("csv", "", "CSV output path");
@@ -81,9 +86,11 @@ int main(int argc, char** argv) {
         util::Flags::parse_integer("budgets", item)));
   }
   const auto format_list = run::split_list(format_spec);
-  if (thread_list.empty() || budget_list.empty() || format_list.empty()) {
-    std::cerr << "error: empty --threads, --budgets, or --snapshot-format "
-                 "list\n";
+  const auto kernel_list = run::split_list(kernel_spec);
+  if (thread_list.empty() || budget_list.empty() || format_list.empty() ||
+      kernel_list.empty()) {
+    std::cerr << "error: empty --threads, --budgets, --snapshot-format, or "
+                 "--bfs-kernel list\n";
     return 2;
   }
 
@@ -94,19 +101,22 @@ int main(int argc, char** argv) {
             << base.algo << " workload=" << base.workload << " ("
             << base.queries << " queries/batch)\n\n";
 
-  // Format-major, then budget-major sweep.  The spec carries the *requested*
-  // thread count; the batch resolves it against the deduplicated
-  // uncached-source count, and the table reports that actual shard count
-  // (row.oracle_shards).
+  // Kernel-major, then format-major, then budget-major sweep.  The spec
+  // carries the *requested* thread count; the batch resolves it against the
+  // deduplicated uncached-source count, and the table reports that actual
+  // shard count (row.oracle_shards).
   std::vector<run::ScenarioSpec> specs;
-  for (const auto& format : format_list) {
-    for (const auto budget : budget_list) {
-      for (const unsigned threads : thread_list) {
-        auto spec = base;
-        spec.snapshot_format = format;
-        spec.cache_budget = budget;
-        spec.query_threads = threads;
-        specs.push_back(spec);
+  for (const auto& kernel : kernel_list) {
+    for (const auto& format : format_list) {
+      for (const auto budget : budget_list) {
+        for (const unsigned threads : thread_list) {
+          auto spec = base;
+          spec.bfs_kernel = kernel;
+          spec.snapshot_format = format;
+          spec.cache_budget = budget;
+          spec.query_threads = threads;
+          specs.push_back(spec);
+        }
       }
     }
   }
@@ -114,7 +124,7 @@ int main(int argc, char** argv) {
   // Sequential execution: per-row serving wall-clock must not share cores.
   const auto rows = runner.run(specs);
 
-  util::Table t({"format", "budget B", "req", "shards", "warmup ms",
+  util::Table t({"kernel", "format", "budget B", "req", "shards", "warmup ms",
                  "serve ms", "kqueries/s", "BFS", "hits", "evict",
                  "digest ok"});
   bool all_ok = true, all_identical = true;
@@ -135,7 +145,7 @@ int main(int argc, char** argv) {
     identicals.push_back(identical);
     all_identical = all_identical && identical;
     all_ok = all_ok && row.passed();
-    t.add_row({row.spec.snapshot_format,
+    t.add_row({row.spec.bfs_kernel, row.spec.snapshot_format,
                std::to_string(row.spec.cache_budget),
                std::to_string(row.spec.query_threads),
                std::to_string(row.oracle_shards),

@@ -9,7 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "graph/bfs.hpp"
+#include "graph/bfs_kernel.hpp"
 #include "graph/io.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -49,7 +49,8 @@ SpannerDistanceOracle::SpannerDistanceOracle(core::SpannerResult result,
       mult_(params_->stretch_multiplicative()),
       add_(params_->stretch_additive()),
       capacity_(resolve_capacity(options.cache_budget_bytes,
-                                 csr_.num_vertices())) {}
+                                 csr_.num_vertices())),
+      kernel_(options.bfs_kernel) {}
 
 SpannerDistanceOracle::SpannerDistanceOracle(graph::Graph spanner,
                                              double multiplicative,
@@ -69,7 +70,8 @@ SpannerDistanceOracle::SpannerDistanceOracle(graph::Csr spanner,
       mult_(multiplicative),
       add_(additive),
       capacity_(resolve_capacity(options.cache_budget_bytes,
-                                 csr_.num_vertices())) {}
+                                 csr_.num_vertices())),
+      kernel_(options.bfs_kernel) {}
 
 const graph::Graph& SpannerDistanceOracle::spanner() const {
   if (!materialized_) {
@@ -124,11 +126,16 @@ std::uint32_t SpannerDistanceOracle::query(Vertex u, Vertex v) const {
     it->second.last_used = clock_;
     return it->second.dist[t];
   }
-  std::vector<std::uint32_t> dist;
-  graph::bfs_into(csr_, s, dist, frontier_);
+  scratch_.run(csr_, s, kernel_);
   ++bfs_passes_;
-  const auto answer = dist[t];
-  cache_insert(s, std::move(dist));
+  const auto answer = scratch_.distance(t);
+  if (capacity_ > 0) {
+    // Materialize the row for the cache only when the budget can hold it —
+    // a cache-disabled oracle answers straight from the scratch.
+    std::vector<std::uint32_t> dist(csr_.num_vertices());
+    scratch_.copy_distances(dist);
+    cache_insert(s, std::move(dist));
+  }
   return answer;
 }
 
@@ -168,15 +175,17 @@ std::vector<std::uint32_t> SpannerDistanceOracle::batch_query(
   }
 
   // BFS the uncached sources, sharded across the pool.  Every worker writes
-  // only its own sources' slots and its own frontier scratch, so the filled
-  // distance vectors are identical at any thread count.  The workers stream
-  // the shared CSR arrays read-only.
+  // only its own sources' slots and owns one reused BfsScratch, so the
+  // filled distance vectors are identical at any thread count and any
+  // kernel (distances are level structure; direction cannot move them).
+  // The workers stream the shared CSR arrays read-only.
   std::vector<std::vector<std::uint32_t>> fresh(missing.size());
   util::ThreadPool::run_sharded(
       missing.size(), threads, [&](std::size_t begin, std::size_t end) {
-        std::vector<Vertex> frontier;
+        graph::BfsScratch scratch;
         for (std::size_t i = begin; i < end; ++i) {
-          graph::bfs_into(csr_, missing[i], fresh[i], frontier);
+          fresh[i].resize(csr_.num_vertices());
+          graph::bfs_kernel_into(csr_, missing[i], fresh[i], scratch, kernel_);
         }
       });
   bfs_passes_ += missing.size();

@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "graph/bfs.hpp"
+#include "graph/bfs_kernel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nas::graph {
@@ -17,18 +17,20 @@ Apsp::Apsp(const Graph& g, Vertex max_n, unsigned threads)
   }
   dist_.resize(static_cast<std::size_t>(n_) * n_);
   // Each source owns one disjoint row of the table, so sharding sources
-  // across workers is race-free; bfs_into writes rows in place with
-  // per-shard scratch, so the whole build allocates O(threads · n).  The
-  // adjacency is flattened to CSR once so all n BFS passes stream two flat
-  // arrays (identical traversal order, identical rows).
+  // across workers is race-free; each worker runs the direction-optimizing
+  // kernel on one reused BfsScratch, so the whole build allocates
+  // O(threads · n).  The adjacency is flattened to CSR once so all n BFS
+  // passes stream two flat arrays.  Distances are level structure — kernel
+  // choice and traversal order cannot change them — so the table is
+  // identical for every thread count and kernel.
   const Csr csr = Csr::from_graph(g);
   util::ThreadPool::run_sharded(
       n_, threads, [&](std::size_t begin, std::size_t end) {
-        std::vector<Vertex> frontier;
+        BfsScratch scratch;
         for (std::size_t s = begin; s < end; ++s) {
-          bfs_into(csr, static_cast<Vertex>(s),
-                   std::span<std::uint32_t>(dist_.data() + s * n_, n_),
-                   frontier);
+          bfs_kernel_into(csr, static_cast<Vertex>(s),
+                          std::span<std::uint32_t>(dist_.data() + s * n_, n_),
+                          scratch, BfsKernel::kAuto);
         }
       });
 }

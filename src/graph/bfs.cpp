@@ -1,9 +1,9 @@
 #include "graph/bfs.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
+#include "graph/bfs_kernel.hpp"
 #include "graph/components.hpp"
 
 namespace nas::graph {
@@ -19,28 +19,30 @@ BfsResult bfs_impl(const Graph& g, const std::vector<Vertex>& sources,
   res.root.assign(n, kInvalidVertex);
 
   // Seed in sorted order so that equidistant ties resolve to the smaller
-  // source ID (FIFO queue preserves insertion order per level).
+  // source ID.  The frontier vector is consumed front-to-back (head index),
+  // so it is the same FIFO the retired std::queue was — identical visit
+  // order, identical parent/root tie-breaks, zero per-BFS heap churn.
   std::vector<Vertex> seeds = sources;
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
 
-  std::queue<Vertex> q;
+  std::vector<Vertex> frontier;
+  frontier.reserve(n);
   for (Vertex s : seeds) {
     if (s >= n) throw std::invalid_argument("bfs: source out of range");
     res.dist[s] = 0;
     res.root[s] = s;
-    q.push(s);
+    frontier.push_back(s);
   }
-  while (!q.empty()) {
-    const Vertex u = q.front();
-    q.pop();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const Vertex u = frontier[head];
     if (res.dist[u] >= depth_limit) continue;
     for (Vertex v : g.neighbors(u)) {
       if (res.dist[v] == kInfDist) {
         res.dist[v] = res.dist[u] + 1;
         res.parent[v] = u;
         res.root[v] = res.root[u];
-        q.push(v);
+        frontier.push_back(v);
       }
     }
   }
@@ -121,20 +123,24 @@ BfsResult multi_source_bfs_bounded(const Graph& g,
 }
 
 std::uint32_t eccentricity(const Graph& g, Vertex v) {
-  const auto res = bfs(g, v);
-  std::uint32_t ecc = 0;
-  for (std::uint32_t d : res.dist) {
-    if (d != kInfDist) ecc = std::max(ecc, d);
-  }
-  return ecc;
+  BfsScratch scratch;
+  scratch.run(Csr::from_graph(g), v, BfsKernel::kTopDown);
+  return scratch.max_reached_distance();
 }
 
 std::uint32_t diameter_largest_component(const Graph& g) {
   const auto comp = connected_components(g);
+  // One CSR build and one scratch for the whole sweep: the previous version
+  // allocated a full 3-vector BfsResult per source, turning the O(n·m)
+  // traversal into an O(n·m) allocation storm on top.  The epoch-marked
+  // scratch resets in O(component) per source instead.
+  const Csr csr = Csr::from_graph(g);
+  BfsScratch scratch;
   std::uint32_t diam = 0;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     if (comp.component[v] == comp.largest) {
-      diam = std::max(diam, eccentricity(g, v));
+      scratch.run(csr, v, BfsKernel::kAuto);
+      diam = std::max(diam, scratch.max_reached_distance());
     }
   }
   return diam;

@@ -21,6 +21,13 @@ struct BfsResult {
 };
 
 /// BFS from a single source.
+///
+/// Tie-break contract (shared by every entry point below): sources are
+/// seeded in ascending ID order and the frontier is consumed FIFO, so an
+/// equidistant vertex takes its parent/root through the smallest-ID chain.
+/// The traversal runs on a vector frontier drained by head index — the same
+/// FIFO discipline the original std::queue implementation had, kept
+/// allocation-flat instead of heap-churning per BFS.
 [[nodiscard]] BfsResult bfs(const Graph& g, Vertex source);
 
 /// Allocation-free single-source BFS distances into caller-owned buffers:
@@ -60,7 +67,9 @@ void bfs_into(const Csr& g, Vertex source, std::vector<std::uint32_t>& dist,
 [[nodiscard]] std::uint32_t eccentricity(const Graph& g, Vertex v);
 
 /// Exact diameter (max eccentricity) of the graph restricted to its largest
-/// connected component.  O(n·m) — intended for test/bench scale graphs.
+/// connected component.  O(n·m) traversal — intended for test/bench scale
+/// graphs — over a single reused BfsScratch, so it performs O(1)
+/// allocations total rather than O(n) BfsResult allocations.
 [[nodiscard]] std::uint32_t diameter_largest_component(const Graph& g);
 
 }  // namespace nas::graph

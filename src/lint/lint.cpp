@@ -283,8 +283,9 @@ void check_banned_random(FileContext& ctx) {
 void check_banned_clock(FileContext& ctx) {
   if (file_allowlisted(kBannedClock, ctx.path)) return;
   static const std::vector<std::string> kWords = {
-      "system_clock", "steady_clock", "high_resolution_clock", "clock_gettime",
-      "gettimeofday"};
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "__rdtsc",
+      "__builtin_readcyclecounter"};
   static const std::vector<std::string> kCalls = {"time", "clock"};
   for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
     const auto& line = ctx.stripped.code[i];
@@ -566,8 +567,8 @@ const std::vector<RuleInfo>& rules() {
        "anywhere; seeded util::Xoshiro256 is the one randomness source"},
       {kBannedClock,
        "system_clock/steady_clock/high_resolution_clock/time()/clock()/"
-       "clock_gettime/gettimeofday outside the timing opt-in "
-       "(src/util/timer.hpp)"},
+       "clock_gettime/gettimeofday/__rdtsc/__builtin_readcyclecounter "
+       "outside the timing opt-in (src/util/timer.hpp)"},
       {kUnorderedIteration,
        "range-for or .begin()/.end() over a std::unordered_{map,set} in "
        "src/ or tools/ (hash-layout order feeds sinks/digests/snapshots); "

@@ -13,6 +13,7 @@
 #include "congest/substrate.hpp"
 #include "core/elkin_matar.hpp"
 #include "core/params.hpp"
+#include "graph/bfs_kernel.hpp"
 #include "serve/cluster.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -149,8 +150,9 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
       };
 
       if (spec.cluster_shards == 0) {
-        const apps::OracleOptions oracle_options{.cache_budget_bytes =
-                                                     spec.cache_budget};
+        const apps::OracleOptions oracle_options{
+            .cache_budget_bytes = spec.cache_budget,
+            .bfs_kernel = graph::parse_bfs_kernel(spec.bfs_kernel)};
         std::optional<apps::SpannerDistanceOracle> oracle;
         std::optional<ScopedRemove> scratch;
         if (!snapshot_format.has_value()) {
@@ -180,7 +182,8 @@ ResultRow Runner::run_one(const ScenarioSpec& spec, std::size_t index,
         const serve::ClusterOptions cluster_options{
             .shards = spec.cluster_shards,
             .partition = spec.partition,
-            .shard_cache_budget_bytes = spec.cache_budget};
+            .shard_cache_budget_bytes = spec.cache_budget,
+            .bfs_kernel = graph::parse_bfs_kernel(spec.bfs_kernel)};
         std::optional<serve::ShardedCluster> cluster;
         std::optional<ScopedRemove> scratch;
         if (!snapshot_format.has_value()) {

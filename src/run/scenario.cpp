@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "graph/bfs_kernel.hpp"
 #include "serve/partition.hpp"
 
 namespace nas::run {
@@ -57,6 +58,10 @@ std::string ScenarioSpec::id() const {
       out += "/sf=";
       out += snapshot_format;
     }
+    if (bfs_kernel != "auto") {
+      out += "/bk=";
+      out += bfs_kernel;
+    }
   }
   return out;
 }
@@ -78,36 +83,38 @@ std::vector<ScenarioSpec> ScenarioMatrix::expand() const {
                         for (const auto shards : cluster_shards)
                           for (const auto& partition : partitions)
                             for (const auto& snapshot_format :
-                                 snapshot_formats) {
-                              ScenarioSpec s;
-                              s.family = family;
-                              s.n = n;
-                              s.seed = seed;
-                              s.algo = algo;
-                              s.algo_seed = algo_seed;
-                              s.eps = eps;
-                              s.kappa = kappa;
-                              s.rho = rho;
-                              s.mode = mode;
-                              s.substrate = substrate;
-                              s.build_threads = build_threads;
-                              s.crosscheck = crosscheck;
-                              s.validate = validate;
-                              s.verify_mode = verify_mode;
-                              s.verify_sources = verify_sources;
-                              s.verify_threads = verify_threads;
-                              s.verify_seed = verify_seed;
-                              s.workload = workload;
-                              s.queries = queries;
-                              s.workload_seed = workload_seed;
-                              s.zipf_theta = zipf_theta;
-                              s.cache_budget = cache_budget;
-                              s.query_threads = threads;
-                              s.cluster_shards = shards;
-                              s.partition = partition;
-                              s.snapshot_format = snapshot_format;
-                              specs.push_back(std::move(s));
-                            }
+                                 snapshot_formats)
+                              for (const auto& bfs_kernel : bfs_kernels) {
+                                ScenarioSpec s;
+                                s.family = family;
+                                s.n = n;
+                                s.seed = seed;
+                                s.algo = algo;
+                                s.algo_seed = algo_seed;
+                                s.eps = eps;
+                                s.kappa = kappa;
+                                s.rho = rho;
+                                s.mode = mode;
+                                s.substrate = substrate;
+                                s.build_threads = build_threads;
+                                s.crosscheck = crosscheck;
+                                s.validate = validate;
+                                s.verify_mode = verify_mode;
+                                s.verify_sources = verify_sources;
+                                s.verify_threads = verify_threads;
+                                s.verify_seed = verify_seed;
+                                s.workload = workload;
+                                s.queries = queries;
+                                s.workload_seed = workload_seed;
+                                s.zipf_theta = zipf_theta;
+                                s.cache_budget = cache_budget;
+                                s.query_threads = threads;
+                                s.cluster_shards = shards;
+                                s.partition = partition;
+                                s.snapshot_format = snapshot_format;
+                                s.bfs_kernel = bfs_kernel;
+                                specs.push_back(std::move(s));
+                              }
   return specs;
 }
 
@@ -115,7 +122,8 @@ std::size_t ScenarioMatrix::size() const {
   return families.size() * ns.size() * seeds.size() * algos.size() *
          algo_seeds.size() * epss.size() * kappas.size() * rhos.size() *
          workloads.size() * cache_budgets.size() * query_threads.size() *
-         cluster_shards.size() * partitions.size() * snapshot_formats.size();
+         cluster_shards.size() * partitions.size() * snapshot_formats.size() *
+         bfs_kernels.size();
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -247,6 +255,12 @@ void ScenarioMatrix::set(const std::string& key, const std::string& value) {
           }
           return v;
         });
+  } else if (key == "bfs-kernel") {
+    bfs_kernels = parse_list<std::string>(
+        key, value, [](const std::string&, const std::string& v) {
+          (void)graph::parse_bfs_kernel(v);  // validates; throws on bad names
+          return v;
+        });
   } else if (key == "queries") {
     queries = static_cast<std::uint64_t>(non_negative(key, value));
   } else if (key == "workload-seed") {
@@ -291,6 +305,8 @@ void ScenarioMatrix::apply_flags(const util::Flags& flags) {
       {"partition", "hash", "cluster partitioners: hash|range (comma list)"},
       {"snapshot-format", "none",
        "serving snapshot round-trips: none|v1|v2 (comma list)"},
+      {"bfs-kernel", "auto",
+       "BFS traversal kernels: topdown|hybrid|auto (comma list)"},
       {"queries", "1000", "oracle requests per batch"},
       {"workload-seed", "1", "oracle request-generator seed"},
       {"zipf-theta", "0.99", "zipf workload skew exponent"},

@@ -13,7 +13,8 @@ std::vector<apps::SpannerDistanceOracle> replicate(
     const graph::Csr& spanner, double multiplicative, double additive,
     const ClusterOptions& options) {
   const apps::OracleOptions oracle_options{
-      .cache_budget_bytes = options.shard_cache_budget_bytes};
+      .cache_budget_bytes = options.shard_cache_budget_bytes,
+      .bfs_kernel = options.bfs_kernel};
   std::vector<apps::SpannerDistanceOracle> shards;
   shards.reserve(options.shards);
   for (unsigned s = 0; s < options.shards; ++s) {
@@ -60,7 +61,8 @@ ShardedCluster ShardedCluster::from_snapshot_files(
         std::to_string(options.shards) + " shards) or one to replicate");
   }
   const apps::OracleOptions oracle_options{
-      .cache_budget_bytes = options.shard_cache_budget_bytes};
+      .cache_budget_bytes = options.shard_cache_budget_bytes,
+      .bfs_kernel = options.bfs_kernel};
 
   if (paths.size() == 1) {
     // One snapshot, loaded/mapped once: every shard views the same CSR

@@ -1,0 +1,26 @@
+// Corpus: kernel-file hygiene — a BFS-kernel-shaped file must stay free of
+// clock reads (including raw cycle counters) and unordered-container
+// iteration; CI lints the real kernel sources against exactly these rules.
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+double bad_kernel_timing() {
+  const auto t0 = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+unsigned long long bad_cycle_counter() { return __rdtsc(); }
+unsigned long long bad_builtin_counter() {
+  return __builtin_readcyclecounter();
+}
+int bad_frontier_order(const std::vector<int>& level) {
+  std::unordered_set<int> frontier(level.begin(), level.end());
+  int sum = 0;
+  for (const int v : frontier) sum += v;
+  return sum;
+}
+// A bitmap frontier keeps iteration in vertex order — this is the fix.
+int fine_frontier_membership(int v) {
+  std::unordered_set<int> frontier;
+  return frontier.count(v) != 0 ? 1 : 0;
+}

@@ -68,6 +68,35 @@ TEST(Lint, BannedClockFiresPerReadSite) {
                           }));
 }
 
+TEST(Lint, KernelHygieneCatchesCycleCountersAndHashOrderFrontiers) {
+  // The BFS-kernel determinism contract in corpus form: a kernel-shaped
+  // file must carry no clock reads (including the raw cycle counters
+  // __rdtsc / __builtin_readcyclecounter) and no hash-order frontier
+  // iteration.  Linted at a src/graph/ path, exactly like the real kernels.
+  const std::string body = corpus("kernel_hygiene.cpp");
+  const auto diags = lint_file("src/graph/kernel_hygiene.cpp", body);
+  EXPECT_EQ(keyed(diags),
+            (std::vector<std::string>{
+                "src/graph/kernel_hygiene.cpp:9:banned-clock",
+                "src/graph/kernel_hygiene.cpp:12:banned-clock",
+                "src/graph/kernel_hygiene.cpp:14:banned-clock",
+                "src/graph/kernel_hygiene.cpp:19:unordered-iteration",
+            }));
+  // The clock findings name the cycle counters so the fix is obvious.
+  EXPECT_NE(diags[1].message.find("__rdtsc"), std::string::npos);
+  EXPECT_NE(diags[2].message.find("__builtin_readcyclecounter"),
+            std::string::npos);
+  // banned-clock is unscoped — the cycle counters stay banned even in
+  // bench/ — while the frontier-iteration rule is src/+tools/ scoped.
+  const auto bench_diags = lint_file("bench/kernel_hygiene.cpp", body);
+  EXPECT_EQ(keyed(bench_diags),
+            (std::vector<std::string>{
+                "bench/kernel_hygiene.cpp:9:banned-clock",
+                "bench/kernel_hygiene.cpp:12:banned-clock",
+                "bench/kernel_hygiene.cpp:14:banned-clock",
+            }));
+}
+
 TEST(Lint, UnorderedIterationFiresInsideSrcScope) {
   const auto diags = lint_file("src/core/unordered_iteration.cpp",
                                corpus("unordered_iteration.cpp"));

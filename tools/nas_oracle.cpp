@@ -20,8 +20,8 @@
 //
 // The answers file has one "u v d" line per request in request order (d is
 // "inf" for disconnected pairs) and is byte-identical at every
-// --query-threads value and every --cache-budget — that invariant is CI's
-// cmp gate over this binary.
+// --query-threads value, every --cache-budget, and every --bfs-kernel —
+// that invariant is CI's cmp gate over this binary.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
         "cache-budget", 64 << 20, "source-cache budget in bytes, 0 = off"));
     const auto query_threads = static_cast<unsigned>(non_negative(
         "query-threads", 1, "batch-query shards, 0 = all cores"));
+    const std::string bfs_kernel_name = flags.str(
+        "bfs-kernel", "auto",
+        "BFS traversal kernel: topdown|hybrid|auto (answers are "
+        "byte-identical for every choice)");
 
     // Requests: an explicit file, or a generated workload.
     const std::string query_file =
@@ -111,7 +115,9 @@ int main(int argc, char** argv) {
     const auto snapshot_format =
         apps::parse_snapshot_format(snapshot_format_name);
 
-    const apps::OracleOptions oracle_options{.cache_budget_bytes = cache_budget};
+    const apps::OracleOptions oracle_options{
+        .cache_budget_bytes = cache_budget,
+        .bfs_kernel = graph::parse_bfs_kernel(bfs_kernel_name)};
     util::Timer build_timer;
     apps::SpannerDistanceOracle oracle = [&] {
       if (!load_path.empty()) {

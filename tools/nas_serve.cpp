@@ -19,8 +19,9 @@
 //
 // The answers file has one "u v d" line per request in request order — the
 // same format nas_oracle writes — and is byte-identical at every --shards,
-// --partition, --threads, and --cache-budget value.  CI's serving-cluster
-// gate cmp's it against the nas_oracle output for the same workload.
+// --partition, --threads, --cache-budget, and --bfs-kernel value.  CI's
+// serving-cluster gate cmp's it against the nas_oracle output for the same
+// workload.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -88,6 +89,10 @@ int main(int argc, char** argv) {
         "cache-budget", 64 << 20, "per-shard cache budget in bytes, 0 = off"));
     const auto threads = static_cast<unsigned>(non_negative(
         "threads", 1, "shard-execution pool slots, 0 = all cores"));
+    const std::string bfs_kernel_name = flags.str(
+        "bfs-kernel", "auto",
+        "BFS traversal kernel for every shard: topdown|hybrid|auto (answers "
+        "are byte-identical for every choice)");
 
     // Requests: an explicit file, or a generated workload.
     const std::string query_file = flags.str(
@@ -136,7 +141,8 @@ int main(int argc, char** argv) {
     const serve::ClusterOptions cluster_options{
         .shards = shards,
         .partition = partition,
-        .shard_cache_budget_bytes = cache_budget};
+        .shard_cache_budget_bytes = cache_budget,
+        .bfs_kernel = graph::parse_bfs_kernel(bfs_kernel_name)};
     util::Timer build_timer;
     serve::ShardedCluster cluster = [&] {
       if (!load_spec.empty()) {
