@@ -22,6 +22,7 @@ constexpr const char* kUnorderedIteration = "unordered-iteration";
 constexpr const char* kHeaderPragmaOnce = "header-pragma-once";
 constexpr const char* kHeaderUsingNamespace = "header-using-namespace";
 constexpr const char* kFlagDescription = "flag-description";
+constexpr const char* kUncheckedIo = "unchecked-io";
 
 [[nodiscard]] bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -558,6 +559,67 @@ void check_flag_description(FileContext& ctx) {
   }
 }
 
+// unchecked-io: a raw POSIX transfer call (`::read`, `::write`, ...) whose
+// result is discarded loses short transfers and EINTR silently, and a bare
+// `::close` before error reporting is the classic errno clobber.  The rule
+// flags these calls in *statement position* — the last code character
+// before the `::` (looking across lines) is `{`, `}`, `;`, or nothing —
+// which is exactly a discarded result; assignments, conditions, and returns
+// all consume the value and pass.  Scope: src/ and tools/, like the other
+// determinism rules.  Deliberate discards use the reviewed pattern
+// `const int rc = ::close(fd); static_cast<void>(rc);`.
+void check_unchecked_io(FileContext& ctx) {
+  if (!has_prefix(ctx.path, "src/") && !has_prefix(ctx.path, "tools/")) {
+    return;
+  }
+  if (file_allowlisted(kUncheckedIo, ctx.path)) return;
+  static const std::vector<std::string> kCalls = {
+      "read", "write", "send", "recv", "pread", "pwrite", "close"};
+  const auto& code = ctx.stripped.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const auto& line = code[i];
+    for (const auto& call : kCalls) {
+      for (std::size_t pos = find_word(line, call, 0);
+           pos != std::string::npos;
+           pos = find_word(line, call, pos + 1)) {
+        // Only the global-namespace spelling `::call(` — member functions
+        // and same-named locals are someone else's API.
+        if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') continue;
+        if (pos >= 3 && (line[pos - 3] == ':' || is_ident_char(line[pos - 3]))) {
+          continue;  // a::b::read — qualified, not the global namespace
+        }
+        if (!next_nonspace_is(line, pos + call.size(), '(')) continue;
+        // Statement position: walk back past whitespace (across lines) to
+        // the last code character before the `::`.
+        char before = '\0';
+        std::size_t line_no = i;
+        std::size_t at = pos - 2;
+        for (;;) {
+          const auto& l = code[line_no];
+          const std::size_t last = l.find_last_not_of(" \t", at > 0 ? at - 1
+                                                                    : 0);
+          if (at > 0 && last != std::string::npos && last < at) {
+            before = l[last];
+            break;
+          }
+          if (line_no == 0) break;
+          --line_no;
+          at = code[line_no].size();
+        }
+        if (before != '\0' && before != '{' && before != '}' && before != ';') {
+          continue;  // result consumed (assignment/condition/return/cast)
+        }
+        ctx.report(i, kUncheckedIo,
+                   "::" + call +
+                       "() result discarded: short transfers, EINTR, and the "
+                       "failing call's errno get lost; consume the result "
+                       "(or for a deliberate discard: `const int rc = ::" +
+                       call + "(...); static_cast<void>(rc);`)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -578,6 +640,11 @@ const std::vector<RuleInfo>& rules() {
       {kFlagDescription,
        "every util::Flags accessor on the conventional 'flags' receiver "
        "passes a description (third argument)"},
+      {kUncheckedIo,
+       "::read/::write/::send/::recv/::pread/::pwrite/::close in statement "
+       "position in src/ or tools/ (result discarded: short transfers, "
+       "EINTR, and errno are lost); deliberate discards use "
+       "`const int rc = ::close(fd); static_cast<void>(rc);`"},
   };
   return kRules;
 }
@@ -600,6 +667,7 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   check_unordered_iteration(ctx);
   check_header_hygiene(ctx);
   check_flag_description(ctx);
+  check_unchecked_io(ctx);
 
   // Stable order: by line, then rule-set order, independent of check order.
   std::map<std::string, std::size_t> rule_rank;

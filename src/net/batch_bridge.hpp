@@ -1,0 +1,98 @@
+// The bounded-queue bridge between the IO event loop and the sharded
+// cluster's batch path.
+//
+// The event loop must never block on a BFS: it stays IO-only, and all
+// answering happens on a dedicated worker thread that feeds
+// ShardedCluster::serve (which is one-serve-at-a-time by contract and
+// parallelizes internally across its shard oracles).  The bridge is the
+// only cross-thread seam in the daemon:
+//
+//   loop thread                      worker thread
+//   -----------                      -------------
+//   try_submit(job) --> [bounded FIFO] --> pop, cluster.serve(...)
+//   drain_completions() <-- [FIFO] <------ push result, wakeup byte
+//
+// Ordering guarantee: jobs complete in submission order (single worker,
+// FIFO queues), so every connection's responses come back in its own
+// request order with no per-connection sequencing needed.  Backpressure:
+// `try_submit` refuses past `queue_depth` instead of blocking — the loop
+// parks the connection and retries after the next completion, so a burst
+// of batches degrades to bounded memory, never to an unresponsive loop.
+//
+// A worker-side exception (impossible for validated requests, but the
+// bridge does not get to assume that) is captured into the result's
+// `error` field rather than tearing down the daemon.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "serve/cluster.hpp"
+
+namespace nas::net {
+
+struct BatchJob {
+  std::uint64_t connection_id = 0;
+  std::vector<apps::Query> queries;
+};
+
+struct BatchResult {
+  std::uint64_t connection_id = 0;
+  std::vector<apps::Query> queries;   ///< echoed for answer rendering
+  std::vector<std::uint32_t> answers; ///< empty when `error` is set
+  serve::ClusterStats stats;
+  std::string error;                  ///< non-empty: serve() threw
+};
+
+class BatchBridge {
+ public:
+  /// `serve_threads` is passed through to every cluster.serve call;
+  /// `wakeup_write_fd` receives one byte per completion (and one at worker
+  /// exit) so the event loop never needs to poll the bridge.
+  BatchBridge(serve::ShardedCluster& cluster, unsigned serve_threads,
+              std::size_t queue_depth, int wakeup_write_fd);
+  ~BatchBridge();
+  BatchBridge(const BatchBridge&) = delete;
+  BatchBridge& operator=(const BatchBridge&) = delete;
+
+  /// Loop thread.  False when the queue is at capacity (the job is NOT
+  /// consumed — the caller keeps it and retries after a completion).
+  [[nodiscard]] bool try_submit(BatchJob&& job);
+
+  /// Loop thread, after a wakeup byte: all results completed so far, in
+  /// completion (= submission) order.
+  [[nodiscard]] std::vector<BatchResult> drain_completions();
+
+  /// Jobs submitted but not yet drained (loop-thread view).
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+  /// Finishes every queued job, then stops and joins the worker.  Called by
+  /// the destructor; safe to call twice.
+  void shutdown();
+
+ private:
+  void worker_main();
+
+  serve::ShardedCluster& cluster_;
+  const unsigned serve_threads_;
+  const std::size_t queue_depth_;
+  const int wakeup_write_fd_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<BatchJob> jobs_;
+  std::deque<BatchResult> results_;
+  bool stopping_ = false;
+
+  std::size_t in_flight_ = 0;  ///< loop thread only
+  std::thread worker_;
+};
+
+}  // namespace nas::net

@@ -1,0 +1,47 @@
+// Blocking line-protocol client for tests and the latency bench.
+//
+// Deliberately simple: one blocking connected socket, buffered line reads,
+// `write_all` sends.  A receive timeout (default 30s) is armed on the
+// socket so a wedged server fails a test with a clear error instead of
+// hanging the suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/posix_io.hpp"
+
+namespace nas::net {
+
+class LineClient {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad).  Throws on failure.
+  LineClient(const std::string& host, std::uint16_t port,
+             std::uint64_t recv_timeout_ms = 30000);
+
+  /// Sends `text` verbatim (callers include their own terminators).
+  /// Throws on a connection error.
+  void send(std::string_view text);
+
+  /// One line, terminator stripped; std::nullopt on orderly EOF.  Throws on
+  /// error or receive timeout.
+  [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// Exactly `n` lines; throws if the stream ends first.
+  [[nodiscard]] std::vector<std::string> recv_lines(std::size_t n);
+
+  /// Half-close: no more sends; the server sees EOF after its replies.
+  void shutdown_write();
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  UniqueFd fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nas::net

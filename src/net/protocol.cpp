@@ -1,0 +1,181 @@
+#include "net/protocol.hpp"
+
+#include <vector>
+
+namespace nas::net {
+
+namespace {
+
+/// Splits on runs of spaces/tabs.  The wire format is whitespace-delimited
+/// tokens, so "Q  1   2" and "Q 1 2\t" parse identically.
+[[nodiscard]] std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+/// Strict decimal u64: digits only, overflow-checked.  Returns false on
+/// anything else (signs, hex, empty, trailing junk).
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+[[nodiscard]] bool parse_vertex(std::string_view text, graph::Vertex universe,
+                                graph::Vertex* out, std::string* error) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, &value)) {
+    *error = "bad vertex id \"" + std::string(text) +
+             "\" (expected a decimal integer)";
+    return false;
+  }
+  if (value >= universe) {
+    *error = "vertex " + std::to_string(value) + " out of range [0, " +
+             std::to_string(universe) + ")";
+    return false;
+  }
+  *out = static_cast<graph::Vertex>(value);
+  return true;
+}
+
+[[nodiscard]] ParseOutcome parse_pair(
+    const std::vector<std::string_view>& tokens, std::size_t first,
+    graph::Vertex universe, Request::Kind kind) {
+  ParseOutcome out;
+  out.request.kind = kind;
+  if (!parse_vertex(tokens[first], universe, &out.request.query.u,
+                    &out.error) ||
+      !parse_vertex(tokens[first + 1], universe, &out.request.query.v,
+                    &out.error)) {
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+bool is_blank_line(std::string_view line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t') return false;
+  }
+  return true;
+}
+
+ParseOutcome parse_request_line(std::string_view line, graph::Vertex universe,
+                                std::uint64_t max_batch) {
+  ParseOutcome out;
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) {
+    out.error = "empty request";
+    return out;
+  }
+  const std::string_view command = tokens.front();
+
+  if (command == "Q") {
+    if (tokens.size() != 3) {
+      out.error = "Q expects exactly two vertex ids (\"Q u v\")";
+      return out;
+    }
+    return parse_pair(tokens, 1, universe, Request::Kind::kQuery);
+  }
+
+  if (command == "BATCH") {
+    // A BATCH header we cannot trust leaves the body length unknown — the
+    // next lines could be a body we'd misread as commands (or a body too
+    // large to consume).  Framing is lost either way: fatal.
+    out.request.kind = Request::Kind::kBatch;
+    if (tokens.size() != 2) {
+      out.error = "BATCH expects exactly one count (\"BATCH n\")";
+      out.fatal = true;
+      return out;
+    }
+    std::uint64_t n = 0;
+    if (!parse_u64(tokens[1], &n)) {
+      out.error = "bad batch count \"" + std::string(tokens[1]) +
+                  "\" (expected a decimal integer)";
+      out.fatal = true;
+      return out;
+    }
+    if (n > max_batch) {
+      out.error = "batch count " + std::to_string(n) +
+                  " exceeds the server limit of " + std::to_string(max_batch);
+      out.fatal = true;
+      return out;
+    }
+    out.ok = true;
+    out.request.batch_size = n;
+    return out;
+  }
+
+  if (command == "STATS") {
+    if (tokens.size() != 1) {
+      out.error = "STATS takes no arguments";
+      return out;
+    }
+    out.ok = true;
+    out.request.kind = Request::Kind::kStats;
+    return out;
+  }
+
+  if (command == "QUIT") {
+    if (tokens.size() != 1) {
+      out.error = "QUIT takes no arguments";
+      return out;
+    }
+    out.ok = true;
+    out.request.kind = Request::Kind::kQuit;
+    return out;
+  }
+
+  out.error = "unknown command \"" + std::string(command) +
+              "\" (expected Q, BATCH, STATS, or QUIT)";
+  return out;
+}
+
+ParseOutcome parse_batch_line(std::string_view line, graph::Vertex universe) {
+  ParseOutcome out;
+  const auto tokens = tokenize(line);
+  if (tokens.size() != 2) {
+    out.error = "batch body line expects exactly two vertex ids (\"u v\")";
+    return out;
+  }
+  out.request.kind = Request::Kind::kQuery;
+  if (!parse_vertex(tokens[0], universe, &out.request.query.u, &out.error) ||
+      !parse_vertex(tokens[1], universe, &out.request.query.v, &out.error)) {
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+LineStatus next_line(const std::string& buffer, std::size_t* pos,
+                     std::size_t max_line_bytes, std::string* line) {
+  const std::size_t newline = buffer.find('\n', *pos);
+  if (newline == std::string::npos) {
+    if (buffer.size() - *pos > max_line_bytes) return LineStatus::kOverlong;
+    return LineStatus::kNeedMore;
+  }
+  std::size_t end = newline;
+  if (end - *pos > max_line_bytes) return LineStatus::kOverlong;
+  if (end > *pos && buffer[end - 1] == '\r') --end;
+  line->assign(buffer, *pos, end - *pos);
+  *pos = newline + 1;
+  return LineStatus::kLine;
+}
+
+}  // namespace nas::net

@@ -15,31 +15,21 @@
 #include "core/params.hpp"
 #include "graph/bfs_kernel.hpp"
 #include "serve/cluster.hpp"
+#include "util/temp_file.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
 
 namespace nas::run {
 
 namespace {
 
-/// A collision-free scratch path for one scenario's snapshot round-trip:
-/// process-unique (pid) and runner-unique (atomic counter), so concurrent
-/// runner workers — and concurrent nas processes sharing one temp dir —
-/// never clobber each other's files.
+/// A collision-free scratch path for one scenario's snapshot round-trip.
+/// Exclusive-create semantics (util::create_temp_file) make the kernel the
+/// arbiter, so concurrent runner workers, recycled pids, and concurrent nas
+/// processes sharing one temp dir can never clobber each other's files —
+/// pid+counter names alone only looked unique until two of those raced.
 std::string temp_snapshot_path(const std::string& ext) {
-  static std::atomic<std::uint64_t> counter{0};
-#if defined(__unix__) || defined(__APPLE__)
-  const auto pid = static_cast<std::uint64_t>(::getpid());
-#else
-  const std::uint64_t pid = 0;
-#endif
-  const auto name = "nas_run_snapshot_" + std::to_string(pid) + "_" +
-                    std::to_string(counter.fetch_add(1)) + ext;
-  return (std::filesystem::temp_directory_path() / name).string();
+  return util::create_temp_file("nas_run_snapshot_", ext);
 }
 
 /// RAII unlink so a throwing load still cleans the scratch file up.

@@ -145,4 +145,69 @@ std::vector<std::uint32_t> ShardedCluster::serve(
   return Router::merge(plan, shard_answers, batch.size());
 }
 
+ClusterStats& ClusterStats::operator+=(const ClusterStats& other) {
+  requests += other.requests;
+  distinct_sources += other.distinct_sources;
+  cache_hits += other.cache_hits;
+  bfs_passes += other.bfs_passes;
+  evictions += other.evictions;
+  if (per_shard.size() < other.per_shard.size()) {
+    per_shard.resize(other.per_shard.size());
+  }
+  for (std::size_t s = 0; s < other.per_shard.size(); ++s) {
+    per_shard[s].requests += other.per_shard[s].requests;
+    per_shard[s].distinct_sources += other.per_shard[s].distinct_sources;
+    per_shard[s].cache_hits += other.per_shard[s].cache_hits;
+    per_shard[s].bfs_passes += other.per_shard[s].bfs_passes;
+    per_shard[s].evictions += other.per_shard[s].evictions;
+  }
+  shards_used = 0;
+  for (const auto& c : per_shard) {
+    if (c.requests > 0) ++shards_used;
+  }
+  return *this;
+}
+
+util::JsonObject cluster_stats_fields(const ShardedCluster& cluster,
+                                      const ClusterStats& stats) {
+  util::JsonObject fields{
+      {"shards", util::JsonValue::number(
+                     static_cast<std::uint64_t>(cluster.num_shards()))},
+      {"partition", util::JsonValue::str(cluster.partitioner().name())},
+      {"shard_cache_capacity",
+       util::JsonValue::number(cluster.shard(0).cache_capacity())},
+      {"universe", util::JsonValue::number(
+                       static_cast<std::uint64_t>(cluster.universe()))},
+      {"requests", util::JsonValue::number(stats.requests)},
+      {"shards_used", util::JsonValue::number(stats.shards_used)},
+      {"distinct_sources", util::JsonValue::number(stats.distinct_sources)},
+      {"cache_hits", util::JsonValue::number(stats.cache_hits)},
+      {"bfs_passes", util::JsonValue::number(stats.bfs_passes)},
+      {"evictions", util::JsonValue::number(stats.evictions)},
+  };
+  // Per-shard request/hit/BFS counters as parallel arrays: deterministic,
+  // so a stats diff localizes a routing or cache regression to its shard.
+  const auto joined = [&](auto field) {
+    std::string list = "[";
+    for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
+      if (s) list += ",";
+      list += std::to_string(field(stats.per_shard[s]));
+    }
+    return list + "]";
+  };
+  fields.emplace_back(
+      "shard_requests",
+      util::JsonValue::literal(
+          joined([](const ShardCounters& c) { return c.requests; })));
+  fields.emplace_back(
+      "shard_bfs", util::JsonValue::literal(joined([](const ShardCounters& c) {
+        return c.bfs_passes;
+      })));
+  fields.emplace_back(
+      "shard_hits", util::JsonValue::literal(joined([](const ShardCounters& c) {
+        return c.cache_hits;
+      })));
+  return fields;
+}
+
 }  // namespace nas::serve

@@ -35,6 +35,7 @@
 #include "apps/distance_oracle.hpp"
 #include "serve/partition.hpp"
 #include "serve/router.hpp"
+#include "util/json.hpp"
 
 namespace nas::serve {
 
@@ -67,6 +68,12 @@ struct ClusterStats {
   std::uint64_t bfs_passes = 0;
   std::uint64_t evictions = 0;
   std::vector<ShardCounters> per_shard;
+
+  /// Accumulates another serve() call's counters (the long-running daemon
+  /// sums per-batch stats into lifetime totals).  `shards_used` is
+  /// recomputed from the merged per-shard requests, so it stays "shards
+  /// that ever received a request", not a sum of per-call counts.
+  ClusterStats& operator+=(const ClusterStats& other);
 };
 
 class ShardedCluster {
@@ -126,5 +133,14 @@ class ShardedCluster {
   Partitioner partitioner_;
   std::vector<apps::SpannerDistanceOracle> shards_;
 };
+
+/// The shared stats-JSON schema for cluster serving: configuration
+/// (shards, partition, shard_cache_capacity, universe) + the counters in
+/// `stats` + per-shard parallel arrays (shard_requests/shard_bfs/
+/// shard_hits).  nas_serve appends its one-shot extras (digest, timings)
+/// and nas_served appends its connection counters; both share this core so
+/// the two tools can never drift on field semantics.
+[[nodiscard]] util::JsonObject cluster_stats_fields(
+    const ShardedCluster& cluster, const ClusterStats& stats);
 
 }  // namespace nas::serve

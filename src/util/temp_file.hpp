@@ -1,0 +1,32 @@
+// Collision-free scratch-file creation.
+//
+// A "unique" temp name built from pid + counter is only unique until a pid
+// is recycled, a stale file survives a crash, or two hosts share one
+// network temp dir — then two writers open the same path and the later one
+// silently corrupts the earlier one's bytes.  The fix is to make the
+// *kernel* arbitrate: each candidate is created with O_CREAT|O_EXCL, which
+// atomically either mints a brand-new file or fails with EEXIST, in which
+// case the next candidate is tried.  The returned path therefore names a
+// file this call created and nothing else is writing.
+//
+// Callers own the file and remove it when done (see run::ScopedRemove).
+#pragma once
+
+#include <string>
+
+namespace nas::util {
+
+/// Creates a fresh file `<prefix><pid>_<counter><suffix>` in `dir` with
+/// exclusive-create semantics and returns its path.  Candidates that
+/// already exist are skipped; any other creation failure throws
+/// std::runtime_error naming the path and the errno captured at the failing
+/// call.
+[[nodiscard]] std::string create_temp_file_in(const std::string& dir,
+                                              const std::string& prefix,
+                                              const std::string& suffix);
+
+/// Same, in std::filesystem::temp_directory_path().
+[[nodiscard]] std::string create_temp_file(const std::string& prefix,
+                                           const std::string& suffix);
+
+}  // namespace nas::util

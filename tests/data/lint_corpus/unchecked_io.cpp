@@ -1,0 +1,25 @@
+// unchecked-io corpus: raw POSIX transfer calls whose results vanish in
+// statement position (bad), next to every consuming form that must stay
+// silent (good).
+#include <unistd.h>
+
+void bad(int fd, char* buf) {
+  ::close(fd);
+  ::write(fd, buf, 16);
+  if (fd > 0) {
+    ::read(fd, buf, 16);
+  }
+  ::pwrite(
+      fd, buf, 16, 0);
+}
+
+long good(int fd, char* buf, std::ofstream& obj) {
+  const long n = ::read(fd, buf, 16);
+  if (::write(fd, buf, 16) < 0) return -1;
+  const int rc = ::close(fd);
+  static_cast<void>(rc);
+  close(fd);           // unqualified: some other close, not the raw syscall
+  obj.write(buf, 16);  // member function, not ::write
+  // ::send(fd, buf, 16, 0);  -- commented out, invisible to the rule
+  return n + ::send(fd, buf, 16, 0);
+}

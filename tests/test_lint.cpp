@@ -143,6 +143,33 @@ TEST(Lint, FlagDescriptionFiresOnMissingThirdArgument) {
                           }));
 }
 
+TEST(Lint, UncheckedIoFiresOnDiscardedResultsOnly) {
+  const auto diags =
+      lint_file("src/x/unchecked_io.cpp", corpus("unchecked_io.cpp"));
+  // Statement-position calls fire (including one whose argument list spans
+  // lines); every consuming form — assignment, condition, the sanctioned
+  // rc-discard, unqualified and member calls, expressions — stays silent.
+  EXPECT_EQ(keyed(diags), (std::vector<std::string>{
+                              "src/x/unchecked_io.cpp:7:unchecked-io",
+                              "src/x/unchecked_io.cpp:8:unchecked-io",
+                              "src/x/unchecked_io.cpp:10:unchecked-io",
+                              "src/x/unchecked_io.cpp:12:unchecked-io",
+                          }));
+  // The message names the call and spells out the sanctioned discard.
+  EXPECT_NE(diags[0].message.find("::close()"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("static_cast<void>(rc)"),
+            std::string::npos);
+}
+
+TEST(Lint, UncheckedIoScopedToSrcAndTools) {
+  // Like unordered-iteration, the rule only patrols src/ and tools/ —
+  // bench and test code may shortcut IO error handling.
+  const std::string body = corpus("unchecked_io.cpp");
+  EXPECT_TRUE(lint_file("bench/unchecked_io.cpp", body).empty());
+  EXPECT_TRUE(lint_file("tests/unchecked_io.cpp", body).empty());
+  EXPECT_FALSE(lint_file("tools/unchecked_io.cpp", body).empty());
+}
+
 TEST(Lint, AllowCommentSuppressesExactlyTheNamedRule) {
   const auto diags =
       lint_file("src/x/allow_comment.cpp", corpus("allow_comment.cpp"));
@@ -192,6 +219,7 @@ TEST(Lint, RuleRegistryMatchesDocumentedSet) {
                        "header-pragma-once",
                        "header-using-namespace",
                        "flag-description",
+                       "unchecked-io",
                    }));
   // The allowlist stays tiny and documented: the two opt-in headers.
   EXPECT_EQ(nas::lint::allowlist().size(), 2u);

@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <thread>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -12,6 +16,8 @@
 
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/mapped_file.hpp"
+#include "util/temp_file.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -284,5 +290,114 @@ TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
   pool.run(pool.size(), [&](unsigned) { ++total; });
   EXPECT_EQ(total.load(), static_cast<int>(pool.size()));
 }
+
+// --- MappedFile error reporting ---------------------------------------------
+//
+// Regression coverage for the errno-clobbering bug: the stat/mmap failure
+// paths ran ::close(fd) before building the error message, and a close that
+// touches errno (POSIX permits this even on success) would replace the real
+// cause with nonsense like "Success".  The message must name the failing
+// operation and the errno captured *at that call*.
+
+TEST(MappedFile, OpenFailureNamesPathAndRealCause) {
+  const std::string missing = "/nonexistent/nas-mapped-file-test";
+  try {
+    auto file = MappedFile::map(missing);
+    FAIL() << "mapping a missing path should throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cannot open"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(missing), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::strerror(ENOENT)), std::string::npos) << msg;
+  }
+}
+
+// --- temp-file exclusive creation -------------------------------------------
+
+TEST(TempFile, CreatesDistinctExistingFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "nas_tf_distinct";
+  std::filesystem::create_directories(dir);
+  const std::string a = create_temp_file_in(dir.string(), "snap_", ".naso");
+  const std::string b = create_temp_file_in(dir.string(), "snap_", ".naso");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(std::filesystem::exists(a));
+  EXPECT_TRUE(std::filesystem::exists(b));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TempFile, SkipsAnOccupiedCandidate) {
+  // Occupy the exact path the next call would mint (the <prefix><pid>_<k>
+  // naming is part of the contract) — the pre-created file simulates a
+  // recycled pid or a stale crash leftover.  The call must come back with a
+  // different path and must NOT have touched the squatter's contents.
+  const auto dir = std::filesystem::temp_directory_path() / "nas_tf_occupied";
+  std::filesystem::create_directories(dir);
+  const std::string first = create_temp_file_in(dir.string(), "coll_", ".tmp");
+  // Parse "<...>coll_<pid>_<k>.tmp" and squat on k+1.
+  const std::size_t us = first.rfind('_');
+  const std::size_t dot = first.rfind('.');
+  ASSERT_NE(us, std::string::npos);
+  ASSERT_NE(dot, std::string::npos);
+  const auto k = std::stoull(first.substr(us + 1, dot - us - 1));
+  const std::string squatted = first.substr(0, us + 1) +
+                               std::to_string(k + 1) + ".tmp";
+  {
+    std::ofstream out(squatted);
+    out << "precious bytes";
+  }
+  const std::string second = create_temp_file_in(dir.string(), "coll_", ".tmp");
+  EXPECT_NE(second, squatted);
+  EXPECT_TRUE(std::filesystem::exists(second));
+  std::ifstream in(squatted);
+  std::string contents;
+  std::getline(in, contents);
+  EXPECT_EQ(contents, "precious bytes");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TempFile, ConcurrentCreatorsNeverCollide) {
+  const auto dir = std::filesystem::temp_directory_path() / "nas_tf_threads";
+  std::filesystem::create_directories(dir);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<std::string>> made(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        made[t].push_back(create_temp_file_in(dir.string(), "race_", ".tmp"));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::string> distinct;
+  for (const auto& per_thread : made) {
+    for (const auto& path : per_thread) {
+      EXPECT_TRUE(std::filesystem::exists(path));
+      distinct.insert(path);
+    }
+  }
+  EXPECT_EQ(distinct.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  std::filesystem::remove_all(dir);
+}
+
+#if defined(__linux__)
+TEST(MappedFile, MmapFailureSurvivesDescriptorCleanup) {
+  // A directory passes open+fstat but fails at mmap (ENODEV), which is
+  // exactly the path that closes the descriptor before throwing.
+  try {
+    auto file = MappedFile::map("/");
+    GTEST_SKIP() << "directory mmap unexpectedly succeeded on this kernel";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cannot mmap"), std::string::npos) << msg;
+    // The clobbered-errno symptom: strerror(0) leaking into the message.
+    EXPECT_EQ(msg.find(std::strerror(0)), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::strerror(ENODEV)), std::string::npos) << msg;
+  }
+}
+#endif
 
 }  // namespace

@@ -212,47 +212,15 @@ int main(int argc, char** argv) {
     }
 
     if (!stats_path.empty()) {
-      util::JsonObject fields{
-          {"shards",
-           util::JsonValue::number(
-               static_cast<std::uint64_t>(cluster.num_shards()))},
-          {"partition", util::JsonValue::str(cluster.partitioner().name())},
-          {"shard_cache_capacity",
-           util::JsonValue::number(cluster.shard(0).cache_capacity())},
-          {"requests", util::JsonValue::number(stats.requests)},
-          {"shards_used", util::JsonValue::number(stats.shards_used)},
-          {"distinct_sources", util::JsonValue::number(stats.distinct_sources)},
-          {"cache_hits", util::JsonValue::number(stats.cache_hits)},
-          {"bfs_passes", util::JsonValue::number(stats.bfs_passes)},
-          {"evictions", util::JsonValue::number(stats.evictions)},
-          {"digest", util::JsonValue::hex64(apps::digest_answers(answers))},
-          {"build_ms",
-           util::JsonValue::literal(run::format_real(build_ms, 4))},
-          {"serve_ms",
-           util::JsonValue::literal(run::format_real(serve_ms, 4))},
-      };
-      // Per-shard request/hit/BFS counters as parallel arrays: deterministic,
-      // so a stats diff localizes a routing or cache regression to its shard.
-      const auto joined = [&](auto field) {
-        std::string list = "[";
-        for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
-          if (s) list += ",";
-          list += std::to_string(field(stats.per_shard[s]));
-        }
-        return list + "]";
-      };
+      // Shared schema (serve::cluster_stats_fields — the same core
+      // nas_served's STATS command emits) plus this tool's one-shot extras.
+      util::JsonObject fields = serve::cluster_stats_fields(cluster, stats);
       fields.emplace_back(
-          "shard_requests",
-          util::JsonValue::literal(
-              joined([](const serve::ShardCounters& c) { return c.requests; })));
-      fields.emplace_back(
-          "shard_bfs",
-          util::JsonValue::literal(joined(
-              [](const serve::ShardCounters& c) { return c.bfs_passes; })));
-      fields.emplace_back(
-          "shard_hits",
-          util::JsonValue::literal(joined(
-              [](const serve::ShardCounters& c) { return c.cache_hits; })));
+          "digest", util::JsonValue::hex64(apps::digest_answers(answers)));
+      fields.emplace_back("build_ms",
+                          util::JsonValue::literal(run::format_real(build_ms, 4)));
+      fields.emplace_back("serve_ms",
+                          util::JsonValue::literal(run::format_real(serve_ms, 4)));
       std::ofstream out(stats_path);
       if (!out) {
         throw std::runtime_error("cannot open stats file " + stats_path);
