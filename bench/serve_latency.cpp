@@ -103,6 +103,10 @@ int main(int argc, char** argv) {
                        "order; cmp-compatible with nas_oracle --answers)");
     const std::string json_path =
         flags.str("json", "BENCH_net.json", "perf JSON output path");
+    const std::string metrics_path = flags.str(
+        "metrics-json", "",
+        "after the replay, send METRICS and write the server's reply line "
+        "here (exercises the METRICS verb; CI key-set checks the schema)");
     if (flags.handle_help(
             "serve_latency — experiment N1: replay a workload against "
             "nas_served and measure round-trip latency")) {
@@ -245,6 +249,25 @@ int main(int argc, char** argv) {
         throw std::runtime_error("cannot open answers file " + answers_path);
       }
       for (const auto& line : answer_lines) out << line << "\n";
+    }
+
+    if (!metrics_path.empty()) {
+      // Post-replay METRICS snapshot over a fresh connection, so the file
+      // reflects every batch this run served.
+      net::LineClient metrics_client(host, port);
+      metrics_client.send("METRICS\n");
+      const auto metrics = metrics_client.recv_line();
+      if (!metrics.has_value()) {
+        throw std::runtime_error("server closed the METRICS connection");
+      }
+      metrics_client.send("QUIT\n");
+      static_cast<void>(metrics_client.recv_line());  // BYE
+      std::ofstream out(metrics_path);
+      if (!out) {
+        throw std::runtime_error("cannot open metrics file " + metrics_path);
+      }
+      out << *metrics << "\n";
+      std::cout << "  wrote metrics to " << metrics_path << "\n";
     }
 
     if (!json_path.empty()) {

@@ -67,14 +67,29 @@ void BatchBridge::worker_main() {
     }
 
     BatchResult result;
+    result.kind = job.kind;
     result.connection_id = job.connection_id;
     result.queries = std::move(job.queries);
-    try {
-      result.answers =
-          cluster_.serve(result.queries, serve_threads_, &result.stats);
-    } catch (const std::exception& e) {
-      result.answers.clear();
-      result.error = e.what();
+    switch (job.kind) {
+      case BatchJob::Kind::kBatch:
+        try {
+          result.answers =
+              cluster_.serve(result.queries, serve_threads_, &result.stats);
+          lifetime_ += result.stats;
+        } catch (const std::exception& e) {
+          result.answers.clear();
+          result.error = e.what();
+        }
+        break;
+      // Snapshots run here — between serves, on the thread that owns the
+      // cluster's counters — never on the loop thread, where they would
+      // race an in-flight serve().
+      case BatchJob::Kind::kStats:
+        result.snapshot = serve::cluster_stats_fields(cluster_, lifetime_);
+        break;
+      case BatchJob::Kind::kMetrics:
+        result.snapshot = serve::cluster_metrics_fields(cluster_);
+        break;
     }
 
     {

@@ -35,19 +35,32 @@
 
 #include "apps/distance_oracle.hpp"
 #include "serve/cluster.hpp"
+#include "util/json.hpp"
 
 namespace nas::net {
 
 struct BatchJob {
+  /// What the worker should do.  kStats/kMetrics jobs carry no queries:
+  /// they exist so cumulative cluster counters and metrics are *read on the
+  /// thread that mutates them* — snapshotting on the loop thread while a
+  /// serve() is in flight would race the worker.  Routing snapshots through
+  /// the same FIFO also sequences them against the batches around them.
+  enum class Kind { kBatch, kStats, kMetrics };
+  Kind kind = Kind::kBatch;
   std::uint64_t connection_id = 0;
-  std::vector<apps::Query> queries;
+  std::vector<apps::Query> queries;  ///< kBatch only
 };
 
 struct BatchResult {
+  BatchJob::Kind kind = BatchJob::Kind::kBatch;
   std::uint64_t connection_id = 0;
   std::vector<apps::Query> queries;   ///< echoed for answer rendering
   std::vector<std::uint32_t> answers; ///< empty when `error` is set
   serve::ClusterStats stats;
+  /// kStats: cluster_stats_fields(cluster, lifetime counters);
+  /// kMetrics: cluster_metrics_fields(cluster).  The loop thread appends
+  /// its connection counters and renders.
+  util::JsonObject snapshot;
   std::string error;                  ///< non-empty: serve() threw
 };
 
@@ -77,6 +90,13 @@ class BatchBridge {
   /// the destructor; safe to call twice.
   void shutdown();
 
+  /// Lifetime cluster counters accumulated by the worker (one += per batch,
+  /// in completion order).  Only safe after shutdown() has joined the
+  /// worker — the daemon reads it once, for the final --stats-json report.
+  [[nodiscard]] const serve::ClusterStats& lifetime() const {
+    return lifetime_;
+  }
+
  private:
   void worker_main();
 
@@ -92,6 +112,7 @@ class BatchBridge {
   bool stopping_ = false;
 
   std::size_t in_flight_ = 0;  ///< loop thread only
+  serve::ClusterStats lifetime_;  ///< worker thread only (until joined)
   std::thread worker_;
 };
 

@@ -132,6 +132,16 @@ ParseOutcome parse_request_line(std::string_view line, graph::Vertex universe,
     return out;
   }
 
+  if (command == "METRICS") {
+    if (tokens.size() != 1) {
+      out.error = "METRICS takes no arguments";
+      return out;
+    }
+    out.ok = true;
+    out.request.kind = Request::Kind::kMetrics;
+    return out;
+  }
+
   if (command == "QUIT") {
     if (tokens.size() != 1) {
       out.error = "QUIT takes no arguments";
@@ -143,7 +153,7 @@ ParseOutcome parse_request_line(std::string_view line, graph::Vertex universe,
   }
 
   out.error = "unknown command \"" + std::string(command) +
-              "\" (expected Q, BATCH, STATS, or QUIT)";
+              "\" (expected Q, BATCH, STATS, METRICS, or QUIT)";
   return out;
 }
 

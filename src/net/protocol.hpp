@@ -11,6 +11,11 @@
 //   STATS         one JSON object line: cluster configuration + cumulative
 //                 serving counters (the nas_serve --stats-json schema plus
 //                 the server's connection counters).
+//   METRICS       one JSON object line: the cluster's work metrics — batch
+//                 and replica-depth histograms, queue-depth high-water
+//                 marks, lifetime per-replica counters, metrics_digest —
+//                 plus the timing-only serve-latency histogram (the
+//                 serve::cluster_metrics_fields schema).
 //   QUIT          the server replies "BYE" and closes after flushing.
 //
 // Anything else is answered with one "ERR <reason>" line.  Errors that
@@ -36,7 +41,7 @@ namespace nas::net {
 
 /// One parsed request line.
 struct Request {
-  enum class Kind { kQuery, kBatch, kStats, kQuit };
+  enum class Kind { kQuery, kBatch, kStats, kMetrics, kQuit };
   Kind kind = Kind::kStats;
   apps::Query query;            ///< kQuery only
   std::uint64_t batch_size = 0; ///< kBatch only

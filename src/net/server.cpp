@@ -327,10 +327,22 @@ class Server::Impl {
         conn.batch.clear();
         conn.batch_error.clear();
         break;
-      case Request::Kind::kStats:
+      case Request::Kind::kStats: {
+        // Snapshots route through the bridge: the worker owns every cluster
+        // counter, so reading them here would race an in-flight serve().
         ++s_.totals_.stats_requests;
-        send_line(conn, stats_json(), now);
+        BatchJob job;
+        job.kind = BatchJob::Kind::kStats;
+        submit_job(conn, std::move(job));
         break;
+      }
+      case Request::Kind::kMetrics: {
+        ++s_.totals_.metrics_requests;
+        BatchJob job;
+        job.kind = BatchJob::Kind::kMetrics;
+        submit_job(conn, std::move(job));
+        break;
+      }
       case Request::Kind::kQuit:
         send_line(conn, "BYE", now);
         conn.want_close = true;
@@ -342,8 +354,12 @@ class Server::Impl {
 
   void submit(Connection& conn, std::vector<apps::Query> queries) {
     BatchJob job;
-    job.connection_id = conn.id;
     job.queries = std::move(queries);
+    submit_job(conn, std::move(job));
+  }
+
+  void submit_job(Connection& conn, BatchJob job) {
+    job.connection_id = conn.id;
     if (bridge_.try_submit(std::move(job))) {
       conn.awaiting_result = true;
       return;
@@ -365,7 +381,9 @@ class Server::Impl {
 
   void handle_completions(double now) {
     for (auto& result : bridge_.drain_completions()) {
-      s_.totals_.cluster += result.stats;
+      if (result.kind == BatchJob::Kind::kBatch) {
+        s_.totals_.cluster += result.stats;
+      }
       const auto idit = id_to_fd_.find(result.connection_id);
       if (idit == id_to_fd_.end()) continue;  // connection died in flight
       const int fd = idit->second;
@@ -376,6 +394,12 @@ class Server::Impl {
         // the reply count is now unknowable, so the framing is forfeit.
         send_line(conn, "ERR internal: " + result.error, now);
         conn.want_close = true;
+      } else if (result.kind == BatchJob::Kind::kStats) {
+        util::JsonObject fields = std::move(result.snapshot);
+        append_server_fields(&fields);
+        send_line(conn, util::render_json_object(fields), now);
+      } else if (result.kind == BatchJob::Kind::kMetrics) {
+        send_line(conn, util::render_json_object(result.snapshot), now);
       } else {
         std::ostringstream os;
         apps::write_answers(result.queries, result.answers, os);
@@ -497,23 +521,27 @@ class Server::Impl {
     return s_.cluster_.universe();
   }
 
-  [[nodiscard]] std::string stats_json() const {
-    util::JsonObject fields =
-        serve::cluster_stats_fields(s_.cluster_, s_.totals_.cluster);
+  /// The loop thread's own counters, appended to a worker-built STATS
+  /// snapshot at completion time.
+  void append_server_fields(util::JsonObject* fields) const {
     const auto& t = s_.totals_;
-    fields.emplace_back("connections_accepted",
-                        util::JsonValue::number(t.connections_accepted));
-    fields.emplace_back("connections_rejected",
-                        util::JsonValue::number(t.connections_rejected));
-    fields.emplace_back(
+    fields->emplace_back("connections_accepted",
+                         util::JsonValue::number(t.connections_accepted));
+    fields->emplace_back("connections_rejected",
+                         util::JsonValue::number(t.connections_rejected));
+    fields->emplace_back(
         "connections_open",
         util::JsonValue::number(static_cast<std::uint64_t>(conns_.size())));
-    fields.emplace_back("served_requests", util::JsonValue::number(t.requests));
-    fields.emplace_back("served_batches", util::JsonValue::number(t.batches));
-    fields.emplace_back("protocol_errors",
-                        util::JsonValue::number(t.protocol_errors));
-    fields.emplace_back("idle_closed", util::JsonValue::number(t.idle_closed));
-    return util::render_json_object(fields);
+    fields->emplace_back("served_requests",
+                         util::JsonValue::number(t.requests));
+    fields->emplace_back("served_batches", util::JsonValue::number(t.batches));
+    fields->emplace_back("stats_requests",
+                         util::JsonValue::number(t.stats_requests));
+    fields->emplace_back("metrics_requests",
+                         util::JsonValue::number(t.metrics_requests));
+    fields->emplace_back("protocol_errors",
+                         util::JsonValue::number(t.protocol_errors));
+    fields->emplace_back("idle_closed", util::JsonValue::number(t.idle_closed));
   }
 
   Server& s_;

@@ -9,6 +9,10 @@
 //
 // The only shared state is the bridge's two locked FIFOs plus one atomic
 // stop flag, so the TSan job can hold the whole design in its head.
+// STATS/METRICS snapshots obey the same split: the loop thread never reads
+// a cluster counter directly (that would race an in-flight serve()) — it
+// submits a snapshot job, the worker captures the fields between serves,
+// and the loop appends its own connection counters before replying.
 //
 // Per-connection sequencing: one command is in flight at a time.  While a
 // connection waits on the bridge its read interest is dropped (kernel-level
@@ -56,6 +60,7 @@ struct ServerTotals {
   std::uint64_t requests = 0;              ///< individual queries answered
   std::uint64_t batches = 0;               ///< BATCH commands accepted
   std::uint64_t stats_requests = 0;
+  std::uint64_t metrics_requests = 0;
   std::uint64_t protocol_errors = 0;       ///< ERR lines sent
   std::uint64_t idle_closed = 0;
   serve::ClusterStats cluster;

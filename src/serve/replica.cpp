@@ -1,0 +1,137 @@
+#include "serve/replica.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nas::serve {
+
+RoutePolicy parse_route_policy(const std::string& name) {
+  if (name == "round-robin") return RoutePolicy::kRoundRobin;
+  if (name == "least-loaded") return RoutePolicy::kLeastLoaded;
+  if (name == "deterministic") return RoutePolicy::kDeterministic;
+  throw std::invalid_argument(
+      "unknown route policy \"" + name +
+      "\" (expected round-robin, least-loaded, or deterministic)");
+}
+
+std::string route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin: return "round-robin";
+    case RoutePolicy::kLeastLoaded: return "least-loaded";
+    case RoutePolicy::kDeterministic: return "deterministic";
+  }
+  return "unknown";
+}
+
+ReplicaGroup::ReplicaGroup(graph::Csr spanner, double multiplicative,
+                           double additive,
+                           const apps::OracleOptions& oracle_options,
+                           const ReplicaGroupOptions& options)
+    : policy_(options.policy), queue_depth_(options.queue_depth) {
+  if (options.replicas == 0) {
+    throw std::invalid_argument("ReplicaGroup: need at least one replica");
+  }
+  replicas_.reserve(options.replicas);
+  for (unsigned r = 0; r < options.replicas; ++r) {
+    replicas_.emplace_back(spanner, multiplicative, additive, oracle_options);
+  }
+  counters_.resize(options.replicas);
+}
+
+unsigned ReplicaGroup::least_loaded(
+    const std::vector<std::uint64_t>& depth) const {
+  unsigned best = 0;
+  for (unsigned r = 1; r < size(); ++r) {
+    if (depth[r] < depth[best] ||
+        (depth[r] == depth[best] &&
+         counters_[r].requests < counters_[best].requests)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+ReplicaPlan ReplicaGroup::plan(std::span<const apps::Query> sub_batch) {
+  const unsigned replicas = size();
+  ReplicaPlan out;
+  out.queries.resize(replicas);
+  out.slots.resize(replicas);
+  out.sheds.assign(replicas, 0);
+  std::vector<std::uint64_t> depth(replicas, 0);
+  for (std::size_t i = 0; i < sub_batch.size(); ++i) {
+    unsigned chosen = 0;
+    switch (policy_) {
+      case RoutePolicy::kRoundRobin:
+        chosen = static_cast<unsigned>(cursor_++ % replicas);
+        break;
+      case RoutePolicy::kDeterministic:
+        chosen = static_cast<unsigned>(i % replicas);
+        break;
+      case RoutePolicy::kLeastLoaded:
+        chosen = least_loaded(depth);
+        break;
+    }
+    if (queue_depth_ > 0 && depth[chosen] >= queue_depth_ && replicas > 1) {
+      // Admission control: the overloaded replica sheds to its group.  When
+      // the whole group is at the cap, least_loaded still names the
+      // shallowest queue and the request is absorbed — the group never
+      // drops work; real turn-away lives in src/net.
+      ++out.sheds[chosen];
+      chosen = least_loaded(depth);
+    }
+    out.queries[chosen].push_back(sub_batch[i]);
+    out.slots[chosen].push_back(i);
+    ++depth[chosen];
+  }
+  return out;
+}
+
+void ReplicaGroup::execute(const ReplicaPlan& plan, unsigned r,
+                           std::vector<std::uint32_t>* answers,
+                           apps::BatchStats* stats) {
+  *answers = replicas_[r].batch_query(plan.queries[r], 1, stats);
+}
+
+std::vector<std::uint32_t> ReplicaGroup::merge(
+    const ReplicaPlan& plan,
+    const std::vector<std::vector<std::uint32_t>>& replica_answers,
+    std::size_t sub_batch_size) {
+  std::vector<std::uint32_t> merged(sub_batch_size, 0);
+  for (std::size_t r = 0; r < plan.slots.size(); ++r) {
+    for (std::size_t i = 0; i < plan.slots[r].size(); ++i) {
+      merged[plan.slots[r][i]] = replica_answers[r][i];
+    }
+  }
+  return merged;
+}
+
+void ReplicaGroup::absorb(const ReplicaPlan& plan,
+                          const std::vector<apps::BatchStats>& replica_stats,
+                          std::vector<ReplicaCounters>* per_call) {
+  if (per_call != nullptr) {
+    per_call->assign(size(), ReplicaCounters{});
+  }
+  for (unsigned r = 0; r < size(); ++r) {
+    ReplicaCounters call;
+    call.requests = plan.queries[r].size();
+    call.sheds = plan.sheds[r];
+    call.distinct_sources = replica_stats[r].distinct_sources;
+    call.cache_hits = replica_stats[r].cache_hits;
+    call.bfs_passes = replica_stats[r].bfs_passes;
+    call.evictions = replica_stats[r].evictions;
+    call.queue_high_water = plan.queries[r].size();
+
+    auto& life = counters_[r];
+    life.requests += call.requests;
+    life.sheds += call.sheds;
+    life.distinct_sources += call.distinct_sources;
+    life.cache_hits += call.cache_hits;
+    life.bfs_passes += call.bfs_passes;
+    life.evictions += call.evictions;
+    life.queue_high_water =
+        std::max(life.queue_high_water, call.queue_high_water);
+    if (per_call != nullptr) (*per_call)[r] = call;
+  }
+}
+
+}  // namespace nas::serve

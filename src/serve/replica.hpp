@@ -1,0 +1,143 @@
+// R-way replica groups: the unit of replication inside a shard.
+//
+// A hot shard is a single point of both failure and latency.  The
+// linear-size spanner is what makes replication affordable: every replica
+// shares one immutable graph::Csr view (O(1) copies onto the same arrays),
+// so R replicas cost R cache budgets, never R structures.  A ReplicaGroup
+// wraps R shard oracles plus a routing policy that assigns each sub-batch
+// request to one replica:
+//
+//   * round-robin    — a persistent cursor advances once per request, so the
+//                      assignment is a pure function of the request sequence
+//                      the group has ever seen.
+//   * least-loaded   — each request goes to the replica with the smallest
+//                      outstanding sub-batch depth in the current pass; ties
+//                      break by smallest lifetime request count, then lowest
+//                      replica id.  Deterministic, because depth is planned
+//                      serially before any oracle runs.
+//   * deterministic  — test mode: replica = index % R, a pure function of
+//                      the request's position in its sub-batch.  Under this
+//                      policy both answers *and per-replica counters* are
+//                      byte-identical across runs, which is what CI diffs.
+//
+// Admission control reuses the park-FIFO idea from src/net: a replica whose
+// planned depth reaches `queue_depth` sheds the request to the least-loaded
+// group member instead of turning it away — arrival order is preserved, the
+// overflow just queues on a sibling.  If every replica is at the cap the
+// least-loaded one absorbs the request anyway; the true backpressure
+// (bounded bridge queue, connection parking, max-conns turn-away) lives one
+// layer up in src/net, and a group must never drop work it was handed.
+//
+// Answers are byte-identical under every policy: all replicas serve the
+// same CSR, and an answer is d_H(u, v), which no replica's cache state can
+// change.  Only the *counters* depend on routing, and they depend on it
+// deterministically.
+//
+// Execution protocol (ShardedCluster drives this): plan() serially, then
+// execute() each non-empty replica from any thread (replica r's oracle and
+// output slots are touched by exactly one call), then merge() + absorb()
+// serially.  One plan/execute/absorb cycle at a time per group.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+
+namespace nas::serve {
+
+enum class RoutePolicy { kRoundRobin, kLeastLoaded, kDeterministic };
+
+/// Parses "round-robin" | "least-loaded" | "deterministic"
+/// (std::invalid_argument otherwise).
+[[nodiscard]] RoutePolicy parse_route_policy(const std::string& name);
+[[nodiscard]] std::string route_policy_name(RoutePolicy policy);
+
+/// Deterministic per-replica serving counters (per call or lifetime).
+struct ReplicaCounters {
+  std::uint64_t requests = 0;  ///< sub-batch requests executed here
+  std::uint64_t sheds = 0;     ///< requests rerouted away by admission control
+  std::uint64_t distinct_sources = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t bfs_passes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t queue_high_water = 0;  ///< max planned depth in one pass
+};
+
+struct ReplicaGroupOptions {
+  unsigned replicas = 1;
+  RoutePolicy policy = RoutePolicy::kRoundRobin;
+  /// Admission cap: planned per-replica depth at which further requests
+  /// shed to the least-loaded group member.  0 = unbounded.
+  std::uint64_t queue_depth = 0;
+};
+
+/// One pass's routing decision: per-replica sub-batches plus the sub-batch
+/// slot each query came from (the merge scatter map), and per-replica shed
+/// counts.
+struct ReplicaPlan {
+  std::vector<std::vector<apps::Query>> queries;  ///< [replica]
+  std::vector<std::vector<std::size_t>> slots;    ///< [replica] -> sub-batch slot
+  std::vector<std::uint64_t> sheds;               ///< [replica] shed away from
+};
+
+class ReplicaGroup {
+ public:
+  /// R replicas over one shared CSR view; per-replica marginal memory is
+  /// one cache budget.
+  ReplicaGroup(graph::Csr spanner, double multiplicative, double additive,
+               const apps::OracleOptions& oracle_options,
+               const ReplicaGroupOptions& options);
+
+  /// Serially assigns each sub-batch request to a replica (see the file
+  /// comment for the policy semantics).  Mutates only routing state (the
+  /// round-robin cursor); counters move in absorb().
+  [[nodiscard]] ReplicaPlan plan(std::span<const apps::Query> sub_batch);
+
+  /// Executes replica r's planned sub-batch.  Touches only replica r's
+  /// oracle and the two output slots, so distinct replicas execute
+  /// concurrently from different threads.
+  void execute(const ReplicaPlan& plan, unsigned r,
+               std::vector<std::uint32_t>* answers, apps::BatchStats* stats);
+
+  /// Scatters per-replica answers back into sub-batch order.
+  [[nodiscard]] static std::vector<std::uint32_t> merge(
+      const ReplicaPlan& plan,
+      const std::vector<std::vector<std::uint32_t>>& replica_answers,
+      std::size_t sub_batch_size);
+
+  /// Serially folds one pass's plan + execution stats into the lifetime
+  /// counters; `per_call`, when non-null, receives this pass's counters.
+  void absorb(const ReplicaPlan& plan,
+              const std::vector<apps::BatchStats>& replica_stats,
+              std::vector<ReplicaCounters>* per_call);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(replicas_.size());
+  }
+  [[nodiscard]] RoutePolicy policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t queue_depth() const { return queue_depth_; }
+  [[nodiscard]] const apps::SpannerDistanceOracle& replica(unsigned r) const {
+    return replicas_.at(r);
+  }
+  /// Lifetime counters, one entry per replica.
+  [[nodiscard]] const std::vector<ReplicaCounters>& counters() const {
+    return counters_;
+  }
+
+ private:
+  [[nodiscard]] unsigned least_loaded(
+      const std::vector<std::uint64_t>& depth) const;
+
+  RoutePolicy policy_;
+  std::uint64_t queue_depth_;
+  std::uint64_t cursor_ = 0;  ///< round-robin position (lifetime-persistent)
+  std::vector<apps::SpannerDistanceOracle> replicas_;
+  std::vector<ReplicaCounters> counters_;  ///< lifetime, absorb()-updated
+};
+
+}  // namespace nas::serve

@@ -63,7 +63,7 @@ TEST(Protocol, NextLineReportsOverlongOnlyWithoutTerminator) {
   EXPECT_EQ(line, long_line);
 }
 
-TEST(Protocol, ParseRequestLineAcceptsTheFourCommands) {
+TEST(Protocol, ParseRequestLineAcceptsTheFiveCommands) {
   const auto q = net::parse_request_line("Q 3 17", 100, 1024);
   ASSERT_TRUE(q.ok);
   EXPECT_EQ(q.request.kind, Request::Kind::kQuery);
@@ -77,8 +77,20 @@ TEST(Protocol, ParseRequestLineAcceptsTheFourCommands) {
 
   EXPECT_EQ(net::parse_request_line("STATS", 100, 1024).request.kind,
             Request::Kind::kStats);
+  EXPECT_EQ(net::parse_request_line("METRICS", 100, 1024).request.kind,
+            Request::Kind::kMetrics);
   EXPECT_EQ(net::parse_request_line("QUIT", 100, 1024).request.kind,
             Request::Kind::kQuit);
+
+  // Argument-free verbs reject trailing tokens (recoverable).
+  const auto stats_arg = net::parse_request_line("STATS now", 100, 1024);
+  EXPECT_FALSE(stats_arg.ok);
+  EXPECT_FALSE(stats_arg.fatal);
+  const auto metrics_arg = net::parse_request_line("METRICS now", 100, 1024);
+  EXPECT_FALSE(metrics_arg.ok);
+  EXPECT_FALSE(metrics_arg.fatal);
+  EXPECT_NE(metrics_arg.error.find("METRICS takes no arguments"),
+            std::string::npos);
 }
 
 TEST(Protocol, RecoverableErrorsKeepFramingFatalOnesDoNot) {
@@ -145,9 +157,14 @@ struct TestServer {
   Server server;
   std::thread thread;
 
-  explicit TestServer(ServerOptions options = {}, unsigned shards = 2)
+  explicit TestServer(ServerOptions options = {}, unsigned shards = 2,
+                      unsigned replicas = 1,
+                      const std::string& route = "round-robin")
       : cluster(built().spanner, built().mult, built().add,
-                {.shards = shards, .partition = "hash"}),
+                {.shards = shards,
+                 .partition = "hash",
+                 .replicas = replicas,
+                 .route = route}),
         server(cluster, options),
         thread([this] { server.run(); }) {}
 
@@ -249,6 +266,64 @@ TEST(NetServer, StatsIsOneJsonObjectLine) {
                             "\"connections_open\"", "\"served_requests\""}) {
     EXPECT_NE(stats->find(field), std::string::npos) << field;
   }
+}
+
+TEST(NetServer, MetricsIsOneJsonObjectLine) {
+  TestServer ts({}, 2, 2, "deterministic");
+  auto client = ts.connect();
+  client.send("Q 0 1\nMETRICS\n");
+  ASSERT_TRUE(client.recv_line().has_value());
+  const auto metrics = client.recv_line();
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->front(), '{');
+  EXPECT_EQ(metrics->back(), '}');
+  for (const char* field :
+       {"\"serve_calls\"", "\"batch_requests_le\"", "\"replica_depth_count\"",
+        "\"lifetime_replica_requests\"", "\"metrics_digest\"",
+        "\"serve_latency_ms_le\""}) {
+    EXPECT_NE(metrics->find(field), std::string::npos) << field;
+  }
+}
+
+TEST(NetServer, SnapshotsUnderLoadAreRaceFree) {
+  // Regression for the STATS-under-load race: snapshots used to read the
+  // loop thread's view of cluster counters while the bridge worker was
+  // serving a batch into them.  Both now flow through the bridge FIFO, so a
+  // client hammering STATS/METRICS while another streams batches must stay
+  // clean — the TSan CI lane runs this test to prove it.
+  const auto batch =
+      apps::make_query_workload(built().n, {"zipf", 64, 17, 0.99});
+  std::string request = "BATCH " + std::to_string(batch.size()) + "\n";
+  for (const auto& q : batch) {
+    request += std::to_string(q.u) + " " + std::to_string(q.v) + "\n";
+  }
+  TestServer ts({}, 2, 2, "round-robin");
+  std::thread streamer([&] {
+    auto client = ts.connect();
+    for (int pass = 0; pass < 20; ++pass) {
+      client.send(request);
+      (void)client.recv_lines(batch.size());
+    }
+    client.send("QUIT\n");
+    (void)client.recv_line();
+  });
+  {
+    auto poller = ts.connect();
+    for (int pass = 0; pass < 40; ++pass) {
+      poller.send(pass % 2 == 0 ? "STATS\n" : "METRICS\n");
+      const auto snapshot = poller.recv_line();
+      ASSERT_TRUE(snapshot.has_value());
+      EXPECT_EQ(snapshot->front(), '{');
+      EXPECT_EQ(snapshot->back(), '}');
+    }
+  }
+  streamer.join();
+  // The drained totals agree with what the streamer sent.
+  ts.server.request_stop();
+  ts.thread.join();
+  EXPECT_EQ(ts.server.totals().requests, 20 * batch.size());
+  EXPECT_EQ(ts.server.totals().stats_requests, 20u);
+  EXPECT_EQ(ts.server.totals().metrics_requests, 20u);
 }
 
 TEST(NetServer, MalformedRequestCorpus) {

@@ -1,0 +1,450 @@
+// Tests for R-way replica groups (src/serve/replica + the replicated
+// ShardedCluster): answers byte-identical across replica counts {1,2,4} x
+// routing policies x thread counts {1,2,8} x shard counts {1,2} and equal
+// to the single-oracle baseline, deterministic-policy counter equality
+// across runs, least-loaded liveness, admission-control shed accounting,
+// cluster metrics, and the runner's replica axes.  Per the repo's
+// single-core bench policy these tests assert determinism, never
+// wall-clock.  The TSan CI lane runs this binary: the multi-threaded
+// sweeps double as a data-race probe over the (shard, replica) execution
+// units.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/distance_oracle.hpp"
+#include "apps/query_workload.hpp"
+#include "core/elkin_matar.hpp"
+#include "graph/generators.hpp"
+#include "run/runner.hpp"
+#include "run/sinks.hpp"
+#include "serve/cluster.hpp"
+#include "serve/replica.hpp"
+
+namespace {
+
+using namespace nas;
+using apps::Query;
+using apps::SpannerDistanceOracle;
+using graph::Graph;
+using serve::ClusterOptions;
+using serve::ClusterStats;
+using serve::ReplicaGroup;
+using serve::ReplicaGroupOptions;
+using serve::RoutePolicy;
+using serve::ShardedCluster;
+
+core::SpannerResult build_result(const Graph& g) {
+  const auto params = core::Params::practical(g.num_vertices(), 0.5, 3, 0.4);
+  return core::build_spanner(g, params, {.validate = false});
+}
+
+// --- policy parsing ----------------------------------------------------------
+
+TEST(RoutePolicy, ParseAndName) {
+  EXPECT_EQ(serve::parse_route_policy("round-robin"),
+            RoutePolicy::kRoundRobin);
+  EXPECT_EQ(serve::parse_route_policy("least-loaded"),
+            RoutePolicy::kLeastLoaded);
+  EXPECT_EQ(serve::parse_route_policy("deterministic"),
+            RoutePolicy::kDeterministic);
+  EXPECT_THROW((void)serve::parse_route_policy("random"),
+               std::invalid_argument);
+  EXPECT_EQ(serve::route_policy_name(RoutePolicy::kRoundRobin), "round-robin");
+  EXPECT_EQ(serve::route_policy_name(RoutePolicy::kLeastLoaded),
+            "least-loaded");
+  EXPECT_EQ(serve::route_policy_name(RoutePolicy::kDeterministic),
+            "deterministic");
+}
+
+// --- replica group -----------------------------------------------------------
+
+TEST(ReplicaGroup, PlanCoversEveryRequestOnceInArrivalOrder) {
+  const Graph g = graph::make_workload("er", 120, 1);
+  const auto result = build_result(g);
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 200, 5, 0.99});
+
+  for (const auto policy : {RoutePolicy::kRoundRobin, RoutePolicy::kLeastLoaded,
+                            RoutePolicy::kDeterministic}) {
+    ReplicaGroup group(graph::Csr::from_graph(result.spanner),
+                       result.params.stretch_multiplicative(),
+                       result.params.stretch_additive(), {},
+                       {.replicas = 3, .policy = policy});
+    const auto plan = group.plan(batch);
+    ASSERT_EQ(plan.queries.size(), 3u);
+    ASSERT_EQ(plan.slots.size(), 3u);
+    std::vector<int> seen(batch.size(), 0);
+    for (unsigned r = 0; r < 3; ++r) {
+      ASSERT_EQ(plan.queries[r].size(), plan.slots[r].size());
+      for (std::size_t i = 0; i < plan.slots[r].size(); ++i) {
+        const auto slot = plan.slots[r][i];
+        ++seen[slot];
+        EXPECT_EQ(plan.queries[r][i].u, batch[slot].u);
+        EXPECT_EQ(plan.queries[r][i].v, batch[slot].v);
+        // Arrival order within the replica.
+        if (i > 0) {
+          EXPECT_LT(plan.slots[r][i - 1], slot);
+        }
+      }
+    }
+    for (const auto count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ReplicaGroup, DeterministicPolicyIsPositionModuloR) {
+  const Graph g = graph::make_workload("er", 100, 2);
+  const auto result = build_result(g);
+  ReplicaGroup group(graph::Csr::from_graph(result.spanner),
+                     result.params.stretch_multiplicative(),
+                     result.params.stretch_additive(), {},
+                     {.replicas = 2, .policy = RoutePolicy::kDeterministic});
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 20, 1, 0.99});
+  const auto plan = group.plan(batch);
+  for (unsigned r = 0; r < 2; ++r) {
+    for (const auto slot : plan.slots[r]) {
+      EXPECT_EQ(slot % 2, r);
+    }
+  }
+  // A second pass routes the same way: no hidden cursor state.
+  const auto again = group.plan(batch);
+  EXPECT_EQ(plan.slots, again.slots);
+}
+
+TEST(ReplicaGroup, RoundRobinCursorPersistsAcrossPasses) {
+  const Graph g = graph::make_workload("er", 100, 2);
+  const auto result = build_result(g);
+  ReplicaGroup group(graph::Csr::from_graph(result.spanner),
+                     result.params.stretch_multiplicative(),
+                     result.params.stretch_additive(), {},
+                     {.replicas = 2, .policy = RoutePolicy::kRoundRobin});
+  const std::vector<Query> one{{0, 1}};
+  // Three one-request passes: the cursor alternates 0, 1, 0.
+  EXPECT_EQ(group.plan(one).queries[0].size(), 1u);
+  EXPECT_EQ(group.plan(one).queries[1].size(), 1u);
+  EXPECT_EQ(group.plan(one).queries[0].size(), 1u);
+}
+
+TEST(ReplicaGroup, LeastLoadedBalancesAndStaysLive) {
+  const Graph g = graph::make_workload("er", 100, 3);
+  const auto result = build_result(g);
+  ReplicaGroup group(graph::Csr::from_graph(result.spanner),
+                     result.params.stretch_multiplicative(),
+                     result.params.stretch_additive(), {},
+                     {.replicas = 4, .policy = RoutePolicy::kLeastLoaded});
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 400, 9, 0.99});
+  const auto plan = group.plan(batch);
+  // Liveness: every replica received work, and the in-pass balancing keeps
+  // the split exactly even (each request goes to a minimum-depth replica).
+  for (unsigned r = 0; r < 4; ++r) {
+    EXPECT_EQ(plan.queries[r].size(), 100u) << "replica " << r;
+  }
+}
+
+TEST(ReplicaGroup, AdmissionCapShedsToTheGroup) {
+  const Graph g = graph::make_workload("er", 100, 4);
+  const auto result = build_result(g);
+  ReplicaGroup group(graph::Csr::from_graph(result.spanner),
+                     result.params.stretch_multiplicative(),
+                     result.params.stretch_additive(), {},
+                     {.replicas = 2,
+                      .policy = RoutePolicy::kDeterministic,
+                      .queue_depth = 1});
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 10, 2, 0.99});
+  const auto plan = group.plan(batch);
+  // Every request is still planned exactly once — shedding reroutes, it
+  // never drops.
+  std::size_t planned = 0;
+  std::uint64_t sheds = 0;
+  for (unsigned r = 0; r < 2; ++r) {
+    planned += plan.queries[r].size();
+    sheds += plan.sheds[r];
+  }
+  EXPECT_EQ(planned, batch.size());
+  // With a cap of 1 and 10 requests at 2 replicas, most requests shed.
+  EXPECT_GT(sheds, 0u);
+
+  // A single-replica group never sheds: there is no sibling to shed to.
+  ReplicaGroup solo(graph::Csr::from_graph(result.spanner),
+                    result.params.stretch_multiplicative(),
+                    result.params.stretch_additive(), {},
+                    {.replicas = 1,
+                     .policy = RoutePolicy::kRoundRobin,
+                     .queue_depth = 1});
+  const auto solo_plan = solo.plan(batch);
+  EXPECT_EQ(solo_plan.queries[0].size(), batch.size());
+  EXPECT_EQ(solo_plan.sheds[0], 0u);
+}
+
+TEST(ReplicaGroup, ExecuteMergeRoundTripMatchesBaseline) {
+  const Graph g = graph::make_workload("grid", 144, 1);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 300, 7, 0.99});
+  const SpannerDistanceOracle baseline(Graph(result.spanner), mult, add);
+  const auto expected = baseline.batch_query(batch, 1);
+
+  ReplicaGroup group(graph::Csr::from_graph(result.spanner), mult, add, {},
+                     {.replicas = 3, .policy = RoutePolicy::kRoundRobin});
+  const auto plan = group.plan(batch);
+  std::vector<std::vector<std::uint32_t>> answers(3);
+  std::vector<apps::BatchStats> stats(3);
+  for (unsigned r = 0; r < 3; ++r) {
+    group.execute(plan, r, &answers[r], &stats[r]);
+  }
+  EXPECT_EQ(ReplicaGroup::merge(plan, answers, batch.size()), expected);
+
+  std::vector<serve::ReplicaCounters> per_call;
+  group.absorb(plan, stats, &per_call);
+  ASSERT_EQ(per_call.size(), 3u);
+  std::uint64_t requests = 0;
+  for (const auto& c : per_call) requests += c.requests;
+  EXPECT_EQ(requests, batch.size());
+  // absorb() folded the same totals into the lifetime counters.
+  requests = 0;
+  for (const auto& c : group.counters()) requests += c.requests;
+  EXPECT_EQ(requests, batch.size());
+}
+
+// --- replicated cluster ------------------------------------------------------
+
+TEST(ReplicatedCluster, ByteIdenticalAcrossReplicasPoliciesThreadsAndShards) {
+  const Graph g = graph::make_workload("er", 220, 3);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 500, 11, 0.99});
+
+  const SpannerDistanceOracle baseline(Graph(result.spanner), mult, add);
+  const auto expected = baseline.batch_query(batch, 1);
+
+  for (const unsigned shards : {1u, 2u}) {
+    for (const unsigned replicas : {1u, 2u, 4u}) {
+      for (const char* route : {"round-robin", "least-loaded",
+                                "deterministic"}) {
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          ShardedCluster cluster(result.spanner, mult, add,
+                                 {.shards = shards,
+                                  .partition = "hash",
+                                  .replicas = replicas,
+                                  .route = route});
+          ClusterStats stats;
+          const auto answers = cluster.serve(batch, threads, &stats);
+          ASSERT_EQ(answers, expected)
+              << "shards=" << shards << " replicas=" << replicas
+              << " route=" << route << " threads=" << threads;
+          EXPECT_EQ(stats.requests, batch.size());
+          ASSERT_EQ(stats.per_replica.size(), shards);
+          for (const auto& shard_replicas : stats.per_replica) {
+            EXPECT_EQ(shard_replicas.size(), replicas);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplicatedCluster, DeterministicPolicyCountersStableAcrossRunsAndThreads) {
+  const Graph g = graph::make_workload("er", 200, 5);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 400, 7, 0.99});
+  const ClusterOptions options{.shards = 2,
+                               .partition = "hash",
+                               .replicas = 4,
+                               .route = "deterministic",
+                               .replica_queue_depth = 8};
+
+  ClusterStats reference;
+  {
+    ShardedCluster cluster(result.spanner, mult, add, options);
+    (void)cluster.serve(batch, 1, &reference);
+  }
+  const auto reference_digest = reference.digest();
+
+  // Fresh clusters at other thread counts reproduce every counter — and
+  // therefore the digest CI diffs — exactly.
+  for (const unsigned threads : {2u, 8u}) {
+    ShardedCluster cluster(result.spanner, mult, add, options);
+    ClusterStats stats;
+    (void)cluster.serve(batch, threads, &stats);
+    EXPECT_EQ(stats.digest(), reference_digest) << "threads=" << threads;
+    ASSERT_EQ(stats.per_replica.size(), reference.per_replica.size());
+    for (std::size_t s = 0; s < stats.per_replica.size(); ++s) {
+      for (std::size_t r = 0; r < stats.per_replica[s].size(); ++r) {
+        EXPECT_EQ(stats.per_replica[s][r].requests,
+                  reference.per_replica[s][r].requests);
+        EXPECT_EQ(stats.per_replica[s][r].bfs_passes,
+                  reference.per_replica[s][r].bfs_passes);
+        EXPECT_EQ(stats.per_replica[s][r].sheds,
+                  reference.per_replica[s][r].sheds);
+      }
+    }
+  }
+
+  // The digest is sensitive: a different admission cap moves the shed
+  // counters.  (A different *policy* need not move anything on a fresh
+  // cluster's first pass — round-robin's cursor starts at 0, so its first
+  // assignment coincides with deterministic's i % R by construction.)
+  ShardedCluster other(result.spanner, mult, add,
+                       {.shards = 2,
+                        .partition = "hash",
+                        .replicas = 4,
+                        .route = "deterministic",
+                        .replica_queue_depth = 1});
+  ClusterStats other_stats;
+  (void)other.serve(batch, 1, &other_stats);
+  EXPECT_NE(other_stats.digest(), reference_digest);
+  EXPECT_GT(other_stats.sheds, reference.sheds);
+}
+
+TEST(ReplicatedCluster, LifetimeStatsAccumulateAcrossBatches) {
+  const Graph g = graph::make_workload("er", 150, 2);
+  const auto result = build_result(g);
+  ShardedCluster cluster(result.spanner,
+                         result.params.stretch_multiplicative(),
+                         result.params.stretch_additive(),
+                         {.shards = 2, .replicas = 2});
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"zipf", 200, 3, 0.99});
+  ClusterStats lifetime, first, second;
+  (void)cluster.serve(batch, 2, &first);
+  (void)cluster.serve(batch, 2, &second);
+  lifetime += first;
+  lifetime += second;
+  EXPECT_EQ(lifetime.requests, 2 * batch.size());
+  ASSERT_EQ(lifetime.per_replica.size(), 2u);
+  std::uint64_t replica_requests = 0;
+  for (const auto& shard_replicas : lifetime.per_replica) {
+    for (const auto& c : shard_replicas) replica_requests += c.requests;
+  }
+  EXPECT_EQ(replica_requests, 2 * batch.size());
+  // The cluster's own lifetime counters agree with the summed stats.
+  std::uint64_t group_requests = 0;
+  for (unsigned s = 0; s < cluster.num_shards(); ++s) {
+    for (const auto& c : cluster.group(s).counters()) {
+      group_requests += c.requests;
+    }
+  }
+  EXPECT_EQ(group_requests, 2 * batch.size());
+}
+
+TEST(ReplicatedCluster, MetricsTrackWorkDeterministically) {
+  const Graph g = graph::make_workload("er", 150, 4);
+  const auto result = build_result(g);
+  const ClusterOptions options{.shards = 2,
+                               .replicas = 2,
+                               .route = "deterministic"};
+  const auto batch =
+      apps::make_query_workload(g.num_vertices(), {"uniform", 100, 1, 0.99});
+
+  const auto run_digest = [&](unsigned threads) {
+    ShardedCluster cluster(result.spanner,
+                           result.params.stretch_multiplicative(),
+                           result.params.stretch_additive(), options);
+    (void)cluster.serve(batch, threads);
+    (void)cluster.serve(batch, threads);
+    EXPECT_EQ(cluster.metrics().serve_calls, 2u);
+    EXPECT_EQ(cluster.metrics().batch_requests.total(), 2u);
+    EXPECT_EQ(cluster.metrics().batch_requests.sum(), 2 * batch.size());
+    return cluster.metrics().work_digest();
+  };
+  // The work digest — which excludes the serve-latency histogram — is
+  // byte-stable across thread counts and fresh runs.
+  const auto d1 = run_digest(1);
+  EXPECT_EQ(run_digest(2), d1);
+  EXPECT_EQ(run_digest(8), d1);
+
+  // The rendered METRICS schema carries the digest and both work
+  // histograms.
+  ShardedCluster cluster(result.spanner,
+                         result.params.stretch_multiplicative(),
+                         result.params.stretch_additive(), options);
+  (void)cluster.serve(batch, 1);
+  const auto fields = serve::cluster_metrics_fields(cluster);
+  bool saw_digest = false, saw_batch = false, saw_depth = false,
+       saw_latency = false;
+  for (const auto& [key, value] : fields) {
+    saw_digest |= key == "metrics_digest";
+    saw_batch |= key == "batch_requests_le";
+    saw_depth |= key == "replica_depth_le";
+    saw_latency |= key == "serve_latency_ms_le";
+  }
+  EXPECT_TRUE(saw_digest);
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(ReplicatedCluster, RejectsBadOptions) {
+  const Graph g = graph::make_workload("er", 60, 1);
+  const auto result = build_result(g);
+  const double mult = result.params.stretch_multiplicative();
+  const double add = result.params.stretch_additive();
+  EXPECT_THROW(ShardedCluster(result.spanner, mult, add,
+                              {.shards = 2, .replicas = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedCluster(result.spanner, mult, add,
+                              {.shards = 2, .route = "random"}),
+               std::invalid_argument);
+}
+
+// --- runner integration ------------------------------------------------------
+
+TEST(RunnerReplica, ReplicaAxesKeepDigestAndFillColumns) {
+  run::ScenarioMatrix matrix;
+  matrix.set("family", "er");
+  matrix.set("n", "200");
+  matrix.set("eps", "0.5");
+  matrix.set("workload", "uniform");
+  matrix.set("queries", "150");
+  matrix.set("cluster-shards", "2");
+  matrix.set("replicas", "1, 2");
+  matrix.set("route", "round-robin, deterministic");
+  const auto specs = matrix.expand();
+  ASSERT_EQ(specs.size(), 4u);
+
+  run::Runner runner;
+  const auto rows = runner.run(specs);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.ok) << row.error;
+    ASSERT_TRUE(row.served);
+    EXPECT_EQ(row.oracle_digest, rows.front().oracle_digest) << row.spec.id();
+  }
+
+  // Non-default replica axes are visible in the id; the default is not.
+  EXPECT_EQ(rows.front().spec.id().find("/r="), std::string::npos);
+  EXPECT_NE(rows.back().spec.id().find("/r=2/deterministic"),
+            std::string::npos);
+
+  // The sink schema carries the replica columns.
+  const auto fields = run::row_fields(rows.back());
+  bool saw_replicas = false, saw_route = false, saw_digest = false;
+  for (const auto& [key, value] : fields) {
+    saw_replicas |= key == "cluster_replicas";
+    saw_route |= key == "cluster_route";
+    saw_digest |= key == "cluster_counter_digest";
+  }
+  EXPECT_TRUE(saw_replicas);
+  EXPECT_TRUE(saw_route);
+  EXPECT_TRUE(saw_digest);
+
+  // The matrix rejects a zero replica count and an unknown policy.
+  run::ScenarioMatrix bad;
+  EXPECT_THROW(bad.set("replicas", "0"), std::invalid_argument);
+  EXPECT_THROW(bad.set("route", "random"), std::invalid_argument);
+}
+
+}  // namespace
